@@ -1,0 +1,41 @@
+package spatialseq_test
+
+import (
+	"spatialseq/internal/algo/hsp"
+	"spatialseq/internal/algo/lora"
+	"spatialseq/internal/core"
+)
+
+// Ablation option presets for the benchmark suite.
+
+func optHSPNoPartition() core.Options {
+	return core.Options{HSP: hsp.Options{DisablePartition: true}}
+}
+
+func optHSPLoose() core.Options {
+	return core.Options{HSP: hsp.Options{LooseBounds: true}}
+}
+
+func optLORARandom() core.Options {
+	return core.Options{LORA: lora.Options{RandomSample: true, RandomSeed: 1}}
+}
+
+func optLORACellNorm() core.Options {
+	return core.Options{LORA: lora.Options{PruneCellNorm: true}}
+}
+
+func optHSPSortedBreak() core.Options {
+	return core.Options{HSP: hsp.Options{SortedBreak: true}}
+}
+
+func optLORASortedBreak() core.Options {
+	return core.Options{LORA: lora.Options{SortedBreak: true}}
+}
+
+func optParallel(workers int) core.Options {
+	return core.Options{HSP: hsp.Options{Parallelism: workers}}
+}
+
+func optLORAParallel(workers int) core.Options {
+	return core.Options{LORA: lora.Options{Parallelism: workers}}
+}

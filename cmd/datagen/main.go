@@ -1,0 +1,71 @@
+// Command datagen writes a synthetic POI dataset to CSV.
+//
+// Usage:
+//
+//	datagen -family yelp  -n 77444   -seed 1 -out yelp.csv
+//	datagen -family gaode -n 1000000 -seed 1 -out gaode.csv
+//
+// The two families are calibrated stand-ins for the paper's Yelp and Gaode
+// corpora (see DESIGN.md §5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	family := fs.String("family", "gaode", "dataset family: yelp or gaode")
+	n := fs.Int("n", 10000, "number of POIs (0 = family default size)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "", "output path (required)")
+	format := fs.String("format", "csv", "output format: csv or bin (binary loads ~10x faster)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if *n < 0 {
+		return fmt.Errorf("-n must be non-negative (0 selects the family default size)")
+	}
+	var cfg synth.Config
+	switch *family {
+	case "yelp":
+		cfg = synth.YelpLike(*n, *seed)
+	case "gaode":
+		cfg = synth.GaodeLike(*n, *seed)
+	default:
+		return fmt.Errorf("unknown family %q (want yelp or gaode)", *family)
+	}
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "csv":
+		err = dataset.WriteFile(*out, ds)
+	case "bin":
+		err = dataset.WriteBinaryFile(*out, ds)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or bin)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d POIs (%d categories, %d attrs) to %s (%s)\n",
+		ds.Len(), ds.NumCategories(), ds.AttrDim(), *out, *format)
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"spatialseq/internal/dataset"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	if err := run([]string{"-family", "gaode", "-n", "500", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 500 {
+		t.Errorf("Len = %d", ds.Len())
+	}
+	if ds.NumCategories() != 20 {
+		t.Errorf("NumCategories = %d", ds.NumCategories())
+	}
+}
+
+func TestRunYelpFamily(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "y.csv")
+	if err := run([]string{"-family", "yelp", "-n", "300", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSV only interns categories that actually appear among the 300
+	// objects; the full table has 1395.
+	if ds.NumCategories() == 0 || ds.NumCategories() > 1395 {
+		t.Errorf("NumCategories = %d", ds.NumCategories())
+	}
+	if ds.AttrDim() != 12 {
+		t.Errorf("AttrDim = %d", ds.AttrDim())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-family", "gaode", "-n", "10"},                       // no -out
+		{"-family", "zzz", "-n", "10", "-out", "/tmp/x.csv"},   // bad family
+		{"-family", "gaode", "-n", "-5", "-out", "/tmp/x.csv"}, // bad n
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d should fail: %v", i, args)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Command seqbench regenerates the paper's tables and figures (and this
+// repository's ablation studies) from synthetic stand-in datasets.
+//
+// Usage:
+//
+//	seqbench -exp table2-gaode
+//	seqbench -exp fig9-d -sizes 10000,50000 -queries 100 -budget 2m
+//	seqbench -exp all
+//
+// Each experiment prints a paper-style table; EXPERIMENTS.md records how
+// the measured shapes compare with the published numbers. Budgets replace
+// the paper's ">24hours" cut-offs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"spatialseq/internal/eval"
+	"spatialseq/internal/userstudy"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "seqbench:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(ctx context.Context, w io.Writer, cfg eval.Config) error
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table2-yelp", "Table II, Yelp-like scaling", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return eval.Table2(ctx, w, eval.Yelp, cfg)
+		}},
+		{"table2-gaode", "Table II, Gaode-like scaling", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return eval.Table2(ctx, w, eval.Gaode, cfg)
+		}},
+		{"table3", "Table III, LORA error statistics (both families)", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			if err := eval.Table3(ctx, w, eval.Yelp, cfg); err != nil {
+				return err
+			}
+			return eval.Table3(ctx, w, eval.Gaode, cfg)
+		}},
+		{"fig9-d", "Fig 9(a), grid resolution sweep", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			for _, f := range []eval.Family{eval.Gaode, eval.Yelp} {
+				for _, n := range firstTwo(cfg.Sizes) {
+					if err := eval.Fig9GridD(ctx, w, f, n, cfg, seqInts(1, 10)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}},
+		{"fig9-alpha", "Fig 9(c), alpha sweep", sweep(eval.SweepAlpha, []float64{0.1, 0.3, 0.5, 0.7, 0.9})},
+		// beta starts at 1.2: beta=1 demands an exactly-equal norm, which
+		// admits no tuple on continuous coordinates
+		{"fig9-beta", "Fig 9(d), beta sweep", sweep(eval.SweepBeta, []float64{1.2, 3, 5, 7, 9})},
+		{"fig9-k", "tech report k sweep", sweep(eval.SweepK, []float64{1, 3, 5, 7, 9})},
+		{"fig9-m", "tech report m sweep", sweep(eval.SweepM, []float64{2, 3, 4, 5})},
+		{"fig9-scale", "Fig 9(f), example scale sweep", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			for _, n := range firstTwo(cfg.Sizes) {
+				if err := eval.Fig9Scale(ctx, w, eval.Gaode, n, cfg, []float64{2, 4, 8, 16, 32}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig10", "Fig 10, SEQ time/similarity frontier", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return eval.Fig10(ctx, w, cfg, firstTwo(cfg.Sizes), seqInts(1, 10))
+		}},
+		{"fig11", "Fig 11, CSEQ-FP", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return eval.Fig11(ctx, w, cfg, firstTwo(cfg.Sizes))
+		}},
+		{"ablation-partition", "A1: HSP partitioning on/off", single(eval.AblationPartition)},
+		{"ablation-bounds", "A4: HSP refined vs loose bounds", single(eval.AblationBounds)},
+		{"ablation-sampling", "A2: query-dependent vs random sampling", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return eval.AblationSampling(ctx, w, eval.Gaode, firstOf(cfg.Sizes), cfg, []int{1, 5, 10, 50})
+		}},
+		{"ablation-cellnorm", "A3: LORA cell norm filter", single(eval.AblationCellNorm)},
+		{"ablation-break", "A5: sorted-break extension", single(eval.AblationSortedBreak)},
+		{"userstudy", "Section IV-C simulated survey", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return userstudy.Simulate(cfg.Seed).Report(w)
+		}},
+	}
+}
+
+func sweep(kind eval.ParamKind, values []float64) func(context.Context, io.Writer, eval.Config) error {
+	return func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+		for _, f := range []eval.Family{eval.Gaode, eval.Yelp} {
+			for _, n := range firstTwo(cfg.Sizes) {
+				if err := eval.Fig9Param(ctx, w, f, n, cfg, kind, values); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func single(fn func(context.Context, io.Writer, eval.Family, int, eval.Config) error) func(context.Context, io.Writer, eval.Config) error {
+	return func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+		return fn(ctx, w, eval.Gaode, firstOf(cfg.Sizes), cfg)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("seqbench", flag.ContinueOnError)
+	expName := fs.String("exp", "", "experiment id (or 'all'); see -list")
+	list := fs.Bool("list", false, "list experiment ids")
+	sizesFlag := fs.String("sizes", "1000,5000,10000", "comma-separated dataset sizes")
+	queries := fs.Int("queries", 20, "queries per measurement (paper: 100)")
+	budget := fs.Duration("budget", 30*time.Second, "time budget per (algorithm, dataset) cell")
+	seed := fs.Int64("seed", 1, "master seed")
+	m := fs.Int("m", 3, "example tuple size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exps := experiments()
+	if *list || *expName == "" {
+		fmt.Fprintln(w, "experiments:")
+		for _, e := range exps {
+			fmt.Fprintf(w, "  %-20s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintln(w, "  all                  run everything")
+		return nil
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	cfg := eval.DefaultConfig()
+	cfg.Sizes = sizes
+	cfg.QueryCount = *queries
+	cfg.Budget = *budget
+	cfg.Seed = *seed
+	cfg.M = *m
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var selected []experiment
+	if *expName == "all" {
+		selected = exps
+	} else {
+		for _, e := range exps {
+			if e.name == *expName {
+				selected = []experiment{e}
+				break
+			}
+		}
+		if selected == nil {
+			return fmt.Errorf("unknown experiment %q; use -list", *expName)
+		}
+	}
+	for _, e := range selected {
+		fmt.Fprintf(w, "== %s: %s ==\n", e.name, e.desc)
+		start := time.Now()
+		if err := e.run(ctx, w, cfg); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(w, "(%s finished in %s)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func firstOf(sizes []int) int { return sizes[0] }
+
+func firstTwo(sizes []int) []int {
+	if len(sizes) > 2 {
+		return sizes[:2]
+	}
+	return sizes
+}
+
+func seqInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"table2-yelp", "table2-gaode", "table3", "fig9-d", "fig9-alpha",
+		"fig9-beta", "fig9-scale", "fig10", "fig11", "ablation-partition", "ablation-sampling",
+		"ablation-cellnorm", "ablation-bounds", "ablation-break", "userstudy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment list missing %q", want)
+		}
+	}
+}
+
+func TestNoArgsListsToo(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "experiments:") {
+		t.Error("bare invocation should list experiments")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "zzz"}, &sb); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestBadSizes(t *testing.T) {
+	for _, sizes := range []string{"a,b", "-5", ""} {
+		var sb strings.Builder
+		if err := run([]string{"-exp", "userstudy", "-sizes", sizes}, &sb); err == nil {
+			t.Errorf("sizes %q should fail", sizes)
+		}
+	}
+}
+
+func TestUserStudyExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "userstudy"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SIMULATED") {
+		t.Error("userstudy output missing the simulation marker")
+	}
+}
+
+func TestTinyTable2Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	err := run([]string{"-exp", "table2-gaode", "-sizes", "300", "-queries", "2", "-budget", "20s"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table II") {
+		t.Errorf("output malformed:\n%s", sb.String())
+	}
+}
+
+func TestParseSizesSortsAndValidates(t *testing.T) {
+	got, err := parseSizes("500, 100,300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 100 || got[2] != 500 {
+		t.Errorf("parseSizes = %v", got)
+	}
+}

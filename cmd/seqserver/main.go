@@ -1,0 +1,95 @@
+// Command seqserver serves example-based spatial search over HTTP — the
+// "map service" surface of the paper's Figure 2.
+//
+// Usage:
+//
+//	seqserver -data gaode.csv -addr :8080
+//	seqserver -synth gaode -n 100000 -addr :8080   # no file needed
+//
+// Endpoints: GET /healthz, GET /stats, POST /search (see internal/server).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/server"
+	"spatialseq/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "seqserver:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	dataPath    string
+	synthFamily string
+	n           int
+	seed        int64
+	addr        string
+	timeout     time.Duration
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("seqserver", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.dataPath, "data", "", "dataset path (CSV or binary)")
+	fs.StringVar(&cfg.synthFamily, "synth", "", "generate a synthetic dataset instead: yelp or gaode")
+	fs.IntVar(&cfg.n, "n", 50000, "synthetic dataset size")
+	fs.Int64Var(&cfg.seed, "seed", 1, "synthetic dataset seed")
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-query timeout")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// loadDataset resolves the dataset source from the config.
+func loadDataset(cfg *config) (*dataset.Dataset, error) {
+	switch {
+	case cfg.dataPath != "":
+		return dataset.ReadAnyFile(cfg.dataPath)
+	case cfg.synthFamily == "yelp":
+		return synth.Generate(synth.YelpLike(cfg.n, cfg.seed))
+	case cfg.synthFamily == "gaode":
+		return synth.Generate(synth.GaodeLike(cfg.n, cfg.seed))
+	case cfg.synthFamily != "":
+		return nil, fmt.Errorf("unknown synthetic family %q (want yelp or gaode)", cfg.synthFamily)
+	default:
+		return nil, errors.New("one of -data or -synth is required")
+	}
+}
+
+func run(args []string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	ds, err := loadDataset(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("indexing %d POIs (%d categories)...", ds.Len(), ds.NumCategories())
+	eng := core.NewEngine(ds)
+	srv := server.New(eng)
+	srv.Timeout = cfg.timeout
+	log.Printf("serving example-based spatial search on %s", cfg.addr)
+	httpServer := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return httpServer.ListenAndServe()
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/synth"
+)
+
+func TestLoadDatasetSynth(t *testing.T) {
+	cfg, err := parseFlags([]string{"-synth", "gaode", "-n", "300"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := loadDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 300 {
+		t.Errorf("Len = %d", ds.Len())
+	}
+}
+
+func TestLoadDatasetFromFile(t *testing.T) {
+	src, err := synth.Generate(synth.YelpLike(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := dataset.WriteBinaryFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := parseFlags([]string{"-data", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := loadDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 100 {
+		t.Errorf("Len = %d", ds.Len())
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	cases := [][]string{
+		{},                         // no source
+		{"-synth", "zzz"},          // unknown family
+		{"-data", "/nope/missing"}, // missing file
+	}
+	for i, args := range cases {
+		cfg, err := parseFlags(args)
+		if err != nil {
+			t.Fatalf("case %d: flag parse: %v", i, err)
+		}
+		if _, err := loadDataset(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestParseFlagsRejectsUnknown(t *testing.T) {
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

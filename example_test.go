@@ -1,0 +1,57 @@
+package spatialseq_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"spatialseq"
+)
+
+// Example demonstrates the core workflow on a hand-built micro-city:
+// search for an (apartment, gym) pair whose layout and attributes resemble
+// a known-good example.
+func Example() {
+	b := &spatialseq.DatasetBuilder{}
+	apt := b.Category("apartment")
+	gym := b.Category("gym")
+	objects := []spatialseq.Object{
+		{ID: 0, Loc: spatialseq.Point{X: 0, Y: 0}, Category: apt, Attr: []float64{0.9, 0.2}, Name: "river-apartments"},
+		{ID: 1, Loc: spatialseq.Point{X: 1, Y: 0}, Category: gym, Attr: []float64{0.8, 0.3}, Name: "river-gym"},
+		{ID: 2, Loc: spatialseq.Point{X: 10, Y: 10}, Category: apt, Attr: []float64{0.9, 0.2}, Name: "hill-apartments"},
+		{ID: 3, Loc: spatialseq.Point{X: 11, Y: 10}, Category: gym, Attr: []float64{0.8, 0.3}, Name: "hill-gym"},
+		{ID: 4, Loc: spatialseq.Point{X: 20, Y: 0}, Category: apt, Attr: []float64{0.2, 0.9}, Name: "budget-apartments"},
+		{ID: 5, Loc: spatialseq.Point{X: 27, Y: 0}, Category: gym, Attr: []float64{0.3, 0.8}, Name: "distant-gym"},
+	}
+	for _, o := range objects {
+		b.Add(o)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := spatialseq.NewEngine(ds)
+	q := &spatialseq.Query{
+		Variant: spatialseq.CSEQ,
+		Example: spatialseq.Example{
+			// the user's current apartment+gym: 1 km apart, quality-focused
+			Categories: []spatialseq.CategoryID{apt, gym},
+			Locations:  []spatialseq.Point{{X: 0, Y: 0}, {X: 1, Y: 0}},
+			Attrs:      [][]float64{{0.9, 0.2}, {0.8, 0.3}},
+		},
+		Params: spatialseq.Params{K: 2, Alpha: 0.5, Beta: 1.5, GridD: 3, Xi: 10},
+	}
+	res, err := eng.Search(context.Background(), q, spatialseq.HSP, spatialseq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank, t := range res.Tuples {
+		a := ds.Object(int(t.Positions[0]))
+		g := ds.Object(int(t.Positions[1]))
+		fmt.Printf("#%d %s + %s (sim %.3f)\n", rank+1, a.Name, g.Name, t.Sim)
+	}
+	// Output:
+	// #1 river-apartments + river-gym (sim 1.000)
+	// #2 hill-apartments + hill-gym (sim 1.000)
+}

@@ -1,0 +1,148 @@
+// Apartment hunt (the paper's Example 1): Peter works in the financial
+// district and needs an apartment plus a daycare center, with a takeaway
+// on the daycare-to-office leg. His workplace is immovable, so this is a
+// CSEQ-FP query: the office dimension is pinned while apartment, daycare
+// and takeaway are searched.
+//
+// The example tuple encodes Peter's current, known-good configuration (a
+// colleague's setup he wants to replicate near his own office), and the
+// beta-norm constraint keeps the commute geometry from inflating.
+//
+// Run with: go run ./examples/apartment
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"spatialseq"
+)
+
+// buildCity constructs a small purpose-built city: a financial district of
+// offices, residential districts of apartments, a daycare belt between
+// them, and takeaways scattered along the main axes.
+func buildCity() (*spatialseq.Dataset, map[string]spatialseq.CategoryID) {
+	rng := rand.New(rand.NewSource(7))
+	b := &spatialseq.DatasetBuilder{}
+	cats := map[string]spatialseq.CategoryID{
+		"office":    b.Category("office"),
+		"apartment": b.Category("apartment"),
+		"daycare":   b.Category("daycare"),
+		"takeaway":  b.Category("takeaway"),
+	}
+	id := int64(0)
+	add := func(cat spatialseq.CategoryID, cx, cy, spread float64, n int, rating, price float64) {
+		for i := 0; i < n; i++ {
+			attr := []float64{
+				clamp(rating+rng.NormFloat64()*0.1, 0.05, 1), // rating
+				clamp(price+rng.NormFloat64()*0.15, 0.05, 1), // price level
+				clamp(0.5+rng.NormFloat64()*0.2, 0.05, 1),    // capacity/size
+			}
+			b.Add(spatialseq.Object{
+				ID:       id,
+				Loc:      spatialseq.Point{X: cx + rng.NormFloat64()*spread, Y: cy + rng.NormFloat64()*spread},
+				Category: cat,
+				Attr:     attr,
+				Name:     fmt.Sprintf("poi-%d", id),
+			})
+			id++
+		}
+	}
+	// financial district around (10, 10)
+	add(cats["office"], 10, 10, 0.8, 60, 0.7, 0.8)
+	// residential districts
+	add(cats["apartment"], 4, 4, 1.2, 300, 0.6, 0.5)
+	add(cats["apartment"], 16, 5, 1.2, 300, 0.55, 0.4)
+	// daycare belt between residential and financial areas
+	add(cats["daycare"], 7, 7, 1.0, 80, 0.75, 0.5)
+	add(cats["daycare"], 13, 7, 1.0, 80, 0.7, 0.45)
+	// takeaways along the commute corridors
+	add(cats["takeaway"], 8.5, 8.5, 1.5, 200, 0.5, 0.3)
+	add(cats["takeaway"], 11.5, 8.5, 1.5, 200, 0.5, 0.3)
+	ds, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds, cats
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func main() {
+	ds, cats := buildCity()
+	eng := spatialseq.NewEngine(ds)
+
+	// Peter's workplace: the office closest to the financial district
+	// center. It must appear verbatim in every result.
+	office := nearest(ds, cats["office"], spatialseq.Point{X: 10, Y: 10})
+	o := ds.Object(int(office))
+	fmt.Printf("Peter's workplace: %s at %s\n", o.Name, o.Loc)
+
+	// The example encodes the colleague's configuration Peter wants to
+	// replicate: apartment 6 km from the office, daycare in between,
+	// takeaway on the daycare-office leg.
+	q := &spatialseq.Query{
+		Variant: spatialseq.CSEQFP,
+		Example: spatialseq.Example{
+			Categories: []spatialseq.CategoryID{
+				cats["office"], cats["apartment"], cats["daycare"], cats["takeaway"],
+			},
+			Locations: []spatialseq.Point{
+				o.Loc,                                // office (pinned)
+				{X: o.Loc.X - 6, Y: o.Loc.Y - 5},     // apartment in a residential district
+				{X: o.Loc.X - 3, Y: o.Loc.Y - 2.5},   // daycare in between
+				{X: o.Loc.X - 1.5, Y: o.Loc.Y - 1.2}, // takeaway close to the office
+			},
+			Attrs: [][]float64{
+				o.Attr,
+				{0.6, 0.5, 0.5},  // decent, affordable apartment
+				{0.8, 0.5, 0.5},  // well-rated daycare
+				{0.5, 0.25, 0.5}, // cheap takeaway
+			},
+			Fixed: []spatialseq.FixedPoint{{Dim: 0, Obj: office}},
+		},
+		Params: spatialseq.Params{K: 5, Alpha: 0.5, Beta: 1.4, GridD: 5, Xi: 10},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := eng.Search(ctx, q, spatialseq.LORA, spatialseq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLORA found %d apartment+daycare+takeaway plans in %s:\n",
+		len(res.Tuples), res.Elapsed.Round(time.Microsecond))
+	labels := []string{"office   ", "apartment", "daycare  ", "takeaway "}
+	for rank, t := range res.Tuples {
+		fmt.Printf("#%d  sim=%.4f\n", rank+1, t.Sim)
+		for d, pos := range t.Positions {
+			obj := ds.Object(int(pos))
+			fmt.Printf("    %s %s at %s  (rating %.2f, price %.2f)\n",
+				labels[d], obj.Name, obj.Loc, obj.Attr[0], obj.Attr[1])
+		}
+	}
+}
+
+// nearest returns the dataset position of the category's object closest to p.
+func nearest(ds *spatialseq.Dataset, cat spatialseq.CategoryID, p spatialseq.Point) int32 {
+	best := int32(-1)
+	bestD := -1.0
+	for _, pos := range ds.CategoryObjects(cat) {
+		d := ds.Object(int(pos)).Loc.Dist(p)
+		if best < 0 || d < bestD {
+			best, bestD = pos, d
+		}
+	}
+	return best
+}

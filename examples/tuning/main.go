@@ -1,0 +1,76 @@
+// Tuning: the accuracy/efficiency frontier of LORA (the shape behind the
+// paper's Figure 10). The program runs one query set at grid resolutions
+// D = 1..10 and two sampling budgets, comparing each setting's average
+// result similarity and latency against the exact HSP answer, and prints
+// the Theorem 3 grid resolution that would guarantee a chosen epsilon.
+//
+// Run with: go run ./examples/tuning
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"spatialseq"
+)
+
+func main() {
+	ds := spatialseq.MustGenerate(spatialseq.GaodeLike(10000, 5))
+	eng := spatialseq.NewEngine(ds)
+
+	// one representative example drawn from the dataset
+	a, b, c := ds.Object(100), ds.Object(2500), ds.Object(7000)
+	base := spatialseq.Query{
+		Variant: spatialseq.CSEQ,
+		Example: spatialseq.Example{
+			Categories: []spatialseq.CategoryID{a.Category, b.Category, c.Category},
+			Locations: []spatialseq.Point{
+				a.Loc,
+				{X: a.Loc.X + 3, Y: a.Loc.Y + 1},
+				{X: a.Loc.X + 1, Y: a.Loc.Y + 4},
+			},
+			Attrs: [][]float64{a.Attr, b.Attr, c.Attr},
+		},
+		Params: spatialseq.DefaultParams(),
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	exactQ := base
+	exact, err := eng.Search(ctx, &exactQ, spatialseq.HSP, spatialseq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactAvg := avgSim(exact)
+	fmt.Printf("exact (HSP): avg sim %.5f in %s\n\n", exactAvg, exact.Elapsed.Round(time.Microsecond))
+
+	fmt.Println("  D  xi   time        avg sim   gap to exact")
+	for _, xi := range []int{5, 50} {
+		for d := 1; d <= 10; d++ {
+			q := base
+			q.Params.GridD = d
+			q.Params.Xi = xi
+			res, err := eng.Search(ctx, &q, spatialseq.LORA, spatialseq.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%3d %3d  %-10s  %.5f   %+.5f\n",
+				d, xi, res.Elapsed.Round(time.Microsecond), avgSim(res), avgSim(res)-exactAvg)
+		}
+		fmt.Println()
+	}
+}
+
+func avgSim(r *spatialseq.Result) float64 {
+	if len(r.Tuples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range r.Tuples {
+		s += t.Sim
+	}
+	return s / float64(len(r.Tuples))
+}

@@ -1,0 +1,78 @@
+package spatialseq_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"spatialseq"
+)
+
+// Exercises the façade helpers beyond the core workflow: road networks,
+// binary persistence, snapping, stats, defaults.
+func TestFacadeRoadNetwork(t *testing.T) {
+	net, err := spatialseq.RoadGrid(spatialseq.RoadGridConfig{
+		Bounds: spatialseq.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+		NX:     5, NY: 5,
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := net.NewMetric(0)
+	if !m.DominatesEuclidean() {
+		t.Error("road metric must dominate Euclidean")
+	}
+	a := spatialseq.Point{X: 0, Y: 0}
+	b := spatialseq.Point{X: 10, Y: 10}
+	if m.Dist(a, b) < a.Dist(b) {
+		t.Error("travel distance below straight line")
+	}
+
+	if _, err := spatialseq.NewRoadNetwork(nil, [][2]int32{{0, 1}}, nil); err == nil {
+		t.Error("bad network should fail")
+	}
+}
+
+func TestFacadeBinaryPersistence(t *testing.T) {
+	ds := spatialseq.MustGenerate(spatialseq.YelpLike(200, 3))
+	path := t.TempDir() + "/ds.bin"
+	if err := spatialseq.WriteDatasetBinaryFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := spatialseq.ReadDatasetFile(path) // sniffs the format
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 200 {
+		t.Errorf("Len = %d", got.Len())
+	}
+}
+
+func TestFacadeStatsAndVariants(t *testing.T) {
+	ds := spatialseq.MustGenerate(spatialseq.GaodeLike(500, 4))
+	eng := spatialseq.NewEngine(ds)
+	a, b := ds.Object(0), ds.Object(1)
+	q := &spatialseq.Query{
+		Variant: spatialseq.SEQ,
+		Example: spatialseq.Example{
+			Categories: []spatialseq.CategoryID{a.Category, b.Category},
+			Locations:  []spatialseq.Point{a.Loc, b.Loc},
+			Attrs:      [][]float64{a.Attr, b.Attr},
+		},
+		Params: spatialseq.DefaultParams(),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := eng.Search(ctx, q, spatialseq.LORA, spatialseq.Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st spatialseq.SearchStats = res.Stats
+	if st.Subspaces == 0 {
+		t.Error("stats missing")
+	}
+	if q.Variant.String() != "SEQ" {
+		t.Errorf("variant = %v", q.Variant)
+	}
+}

@@ -1,0 +1,3 @@
+module spatialseq
+
+go 1.22

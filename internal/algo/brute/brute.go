@@ -1,0 +1,45 @@
+// Package brute is the reference CSEQ implementation: plain exhaustive
+// enumeration of every category-compatible tuple with no pruning at all.
+// It exists as the correctness oracle for tests and as the naive lower
+// baseline in ablation benchmarks; it is exponential in the tuple size and
+// must only run on small datasets.
+package brute
+
+import (
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/query"
+	"spatialseq/internal/simil"
+	"spatialseq/internal/topk"
+)
+
+// Search enumerates all tuples and returns the exact top-k. The query must
+// be validated.
+func Search(ds *dataset.Dataset, q *query.Query) []topk.Entry {
+	ctx := simil.NewContext(ds, q)
+	m := ctx.M
+	cands := make([][]int32, m)
+	for d := 0; d < m; d++ {
+		if fixed := q.Example.FixedDim(d); fixed >= 0 {
+			cands[d] = []int32{fixed}
+			continue
+		}
+		cands[d] = ds.CategoryObjects(q.Example.Categories[d])
+	}
+	heap := topk.New(q.Params.K)
+	tuple := make([]int32, m)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == m {
+			if sim, ok := ctx.SimOfPositions(tuple); ok {
+				heap.Offer(tuple, sim)
+			}
+			return
+		}
+		for _, pos := range cands[d] {
+			tuple[d] = pos
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return heap.Results()
+}

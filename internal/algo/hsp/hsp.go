@@ -1,0 +1,321 @@
+// Package hsp implements the paper's exact algorithm HSP (Hierarchical
+// Space Partitioning, Section III-B).
+//
+// HSP partitions the data space into core subspaces whose diagonal is
+// below beta*||V_t*|| and searches each core's ac-subspace independently.
+// Inside a subspace it runs Exact-DFS (Algorithm 1) with three refinements
+// over DFS-Prune:
+//
+//  1. first-point-in-core selection (Lemma 1: every candidate tuple is
+//     enumerated exactly once across all subspaces);
+//  2. the refined attribute bound of Eq. 6 (unseen dimensions bounded by
+//     the subspace's per-dimension maxima instead of 1);
+//  3. the refined spatial bound of Eq. 9 combined with Eq. 5 (tighter
+//     wins), plus unconditional pruning of prefixes whose partial distance
+//     norm already exceeds beta*||V_t*||.
+package hsp
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/partition"
+	"spatialseq/internal/query"
+	"spatialseq/internal/simil"
+	"spatialseq/internal/stats"
+	"spatialseq/internal/topk"
+)
+
+// Options tune implementation details; the zero value is the paper's HSP.
+type Options struct {
+	// DisablePartition searches the whole space as one subspace (for the
+	// A1 ablation benchmark isolating the partitioning gain).
+	DisablePartition bool
+	// LooseBounds falls back to DFS-Prune's bounds inside the subspace
+	// search (A4 ablation isolating the refined-bound gain).
+	LooseBounds bool
+	// SortedBreak is an extension beyond the paper: because candidates
+	// are sorted descending by attribute similarity and the attribute
+	// bound is monotone along that order, a failing attribute-only bound
+	// implies every later candidate fails too, so the whole level can be
+	// abandoned instead of just the subtree. Off by default for fidelity
+	// to Algorithm 1 (ablation A5 measures the gain).
+	SortedBreak bool
+	// Parallelism spreads the independent ac-subspace searches over this
+	// many goroutines sharing one concurrent top-k (exactness is
+	// unaffected: a stale pruning threshold only admits extra
+	// candidates). <= 1 searches sequentially; negative uses GOMAXPROCS.
+	Parallelism int
+	// Stats, when non-nil, collects per-search counters (subspaces,
+	// candidates, pruned prefixes, scored tuples).
+	Stats *stats.Stats
+}
+
+// Search answers q exactly using the prebuilt partition index ix (which
+// must index exactly the locations of ds, in dataset position order).
+func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *query.Query, opt Options) ([]topk.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sctx := simil.NewContext(ds, q)
+	radius := sctx.PartitionRadius()
+	if opt.DisablePartition {
+		// Ablation flag: one subspace covering everything stays exact.
+		radius = math.Inf(1)
+	}
+	part, err := ix.PartitionBucketed(radius)
+	if err != nil {
+		return nil, err
+	}
+
+	// If dimension 0 is pinned, only the subspace owning that point's core
+	// can produce results (Lemma 1 discipline).
+	fixed0 := q.Example.FixedDim(0)
+	work := make([]*partition.Subspace, 0, len(part.Subspaces))
+	for si := range part.Subspaces {
+		ss := &part.Subspaces[si]
+		if fixed0 >= 0 && !ss.Core.Contains(ds.Object(int(fixed0)).Loc) {
+			continue
+		}
+		work = append(work, ss)
+	}
+
+	workers := opt.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		heap := topk.New(q.Params.K)
+		s := newSearcher(ctx, sctx, heap, opt)
+		for _, ss := range work {
+			if err := s.searchSubspace(ds, q, ss); err != nil {
+				return nil, err
+			}
+		}
+		return heap.Results(), nil
+	}
+
+	sink := topk.NewConcurrent(q.Params.K)
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		errOnce sync.Once
+		callErr error
+	)
+	record := func(err error) {
+		errOnce.Do(func() { callErr = err })
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newSearcher(ctx, sctx, sink, opt)
+			for !stop.Load() {
+				i := next.Add(1) - 1
+				if int(i) >= len(work) {
+					return
+				}
+				if err := s.searchSubspace(ds, q, work[i]); err != nil {
+					record(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if callErr != nil {
+		return nil, callErr
+	}
+	return sink.Results(), nil
+}
+
+func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, opt Options) *searcher {
+	return &searcher{
+		ctx:         ctx,
+		sctx:        sctx,
+		heap:        sink,
+		tuple:       make([]int32, sctx.M),
+		scratch:     sctx.NewScratch(),
+		loose:       opt.LooseBounds,
+		sortedBreak: opt.SortedBreak,
+		st:          opt.Stats,
+	}
+}
+
+// searchSubspace prepares and runs Exact-DFS over one subspace.
+func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *partition.Subspace) error {
+	if skip, err := s.prepareSubspace(ds, q, ss); err != nil || skip {
+		if skip {
+			s.st.AddSubspacesSkipped(1)
+		}
+		return err
+	}
+	s.st.AddSubspaces(1)
+	for d := 0; d < s.sctx.M; d++ {
+		s.st.AddCandidates(int64(len(s.cands[d])))
+	}
+	s.local = localCounters{}
+	err := s.dfs(0, 0)
+	s.st.AddPrunedPrefixes(s.local.pruned)
+	s.st.AddTuples(s.local.tuples)
+	s.st.AddOffered(s.local.offered)
+	return err
+}
+
+// localCounters batch the per-subspace statistics so the DFS hot loop
+// touches plain ints, not atomics.
+type localCounters struct {
+	pruned, tuples, offered int64
+}
+
+type searcher struct {
+	ctx         context.Context
+	sctx        *simil.Context
+	heap        topk.Sink
+	tuple       []int32
+	scratch     *simil.Scratch
+	loose       bool
+	sortedBreak bool
+
+	cands      [][]simil.Cand
+	rbarSuffix []float64
+	steps      int
+	st         *stats.Stats
+	local      localCounters
+}
+
+// prepareSubspace builds the per-subspace candidate lists and Eq. 6 suffix
+// maxima. It reports skip=true when some dimension has no candidate (the
+// subspace cannot produce a tuple) or a pinned object falls outside the
+// ac-subspace.
+func (s *searcher) prepareSubspace(ds *dataset.Dataset, q *query.Query, ss *partition.Subspace) (skip bool, err error) {
+	c := s.sctx
+	m := c.M
+	if s.cands == nil {
+		s.cands = make([][]simil.Cand, m)
+		s.rbarSuffix = make([]float64, m+1)
+	}
+	for d := 0; d < m; d++ {
+		if fixed := q.Example.FixedDim(d); fixed >= 0 {
+			loc := ds.Object(int(fixed)).Loc
+			region := ss.AC
+			if d == 0 {
+				region = ss.Core
+			}
+			if !region.Contains(loc) {
+				return true, nil
+			}
+			s.cands[d] = append(s.cands[d][:0], simil.Cand{Pos: fixed, Sim: c.AttrSim(d, fixed)})
+			continue
+		}
+		source := ss.ACPoints
+		if d == 0 {
+			source = ss.CorePoints
+		}
+		s.cands[d] = s.candidatesInto(d, source, s.cands[d][:0])
+		if len(s.cands[d]) == 0 {
+			return true, nil
+		}
+	}
+	s.rbarSuffix[m] = 0
+	for d := m - 1; d >= 0; d-- {
+		s.rbarSuffix[d] = s.rbarSuffix[d+1] + s.cands[d][0].Sim
+	}
+	s.scratch.Reset()
+	return false, nil
+}
+
+// candidatesInto is simil.Context.Candidates with a reusable destination.
+func (s *searcher) candidatesInto(dim int, positions []int32, dst []simil.Cand) []simil.Cand {
+	c := s.sctx
+	cat := c.Ex.Categories[dim]
+	for _, pos := range positions {
+		if c.DS.Object(int(pos)).Category != cat {
+			continue
+		}
+		dst = append(dst, simil.Cand{Pos: pos, Sim: c.AttrSim(dim, pos)})
+	}
+	simil.SortCandidates(dst)
+	return dst
+}
+
+const checkEvery = 4096
+
+// dfs is Exact-DFS (Algorithm 1) over the current subspace's candidates.
+func (s *searcher) dfs(dim int, attrSum float64) error {
+	c := s.sctx
+	for _, cand := range s.cands[dim] {
+		if s.steps++; s.steps%checkEvery == 0 {
+			select {
+			case <-s.ctx.Done():
+				return s.ctx.Err()
+			default:
+			}
+		}
+		if s.used(cand.Pos, dim) {
+			continue
+		}
+		sum := attrSum + cand.Sim
+		var attrBound float64
+		if s.loose {
+			attrBound = c.AttrBoundLoose(sum, dim+1)
+		} else {
+			attrBound = c.AttrBoundRefined(sum, dim+1, s.rbarSuffix)
+		}
+		if !s.heap.WouldAccept(c.Combine(1, attrBound)) {
+			s.local.pruned++
+			if s.sortedBreak {
+				// extension: the bound is monotone along the
+				// similarity-sorted list, so later candidates fail too
+				break
+			}
+			continue
+		}
+		s.tuple[dim] = cand.Pos
+		obj := c.DS.Object(int(cand.Pos))
+		added := s.scratch.Push(obj.Loc, cand.Sim)
+		if dim+1 == c.M {
+			s.local.tuples++
+			if c.NormOK(s.scratch.PrefixNorm()) {
+				if s.heap.Offer(s.tuple, c.TupleSim(s.scratch.Y, s.scratch.AttrSims)) {
+					s.local.offered++
+				}
+			}
+		} else {
+			var spatialBound float64
+			if s.loose {
+				spatialBound = c.SpatialBoundEq5(s.scratch.Y)
+			} else {
+				spatialBound = c.SpatialBound(s.scratch.Y)
+			}
+			if !math.IsInf(spatialBound, -1) &&
+				s.heap.WouldAccept(c.Combine(spatialBound, attrBound)) {
+				if err := s.dfs(dim+1, sum); err != nil {
+					return err
+				}
+			} else {
+				s.local.pruned++
+			}
+		}
+		s.scratch.Pop(added)
+	}
+	return nil
+}
+
+func (s *searcher) used(pos int32, dim int) bool {
+	for d := 0; d < dim; d++ {
+		if s.tuple[d] == pos {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,550 @@
+// Package lora implements LORA (LOcal Representative Approximation), the
+// paper's approximate algorithm (Section III-C/D).
+//
+// Per ac-subspace, LORA imposes a D x D grid, groups same-category points
+// per cell, keeps only the top-xi points of each (cell, dimension) bucket
+// by attribute similarity to the example (query-dependent sampling,
+// Algorithm 6), and then enumerates in two phases:
+//
+//   - Cell-Tuple-Enum (Algorithm 4): DFS over per-dimension cell lists
+//     sorted by maximum bucket similarity, pruning cell tuples whose
+//     upper bound alpha*1 + (1-alpha)*Vbar cannot beat the current k-th
+//     result;
+//   - Point-Tuple-Enum (Algorithm 5): best-first traversal of the
+//     rank-representation graph, popping the cell tuple's point tuples in
+//     descending attribute-similarity order (Lemma 2), applying the
+//     beta-norm check, scoring survivors against the global top-k and
+//     stopping once no future pop can help or k valid tuples were popped
+//     (per-subspace top-k sufficiency, observation 2).
+//
+// Like HSP, dimension-0 candidates are restricted to the core subspace so
+// no tuple is generated twice across subspaces.
+package lora
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/grid"
+	"spatialseq/internal/partition"
+	"spatialseq/internal/query"
+	"spatialseq/internal/rankgraph"
+	"spatialseq/internal/simil"
+	"spatialseq/internal/stats"
+	"spatialseq/internal/topk"
+)
+
+// Options tune implementation details; the zero value is the paper's LORA.
+type Options struct {
+	// RandomSample replaces query-dependent sampling with seeded random
+	// sampling (the strawman of Fig. 4, for the A2 ablation).
+	RandomSample bool
+	// RandomSeed drives RandomSample.
+	RandomSeed int64
+	// PruneCellNorm enables the cell-level beta-norm feasibility filter
+	// using min/max inter-cell distances (A3 ablation; off in the
+	// paper's plain LORA).
+	PruneCellNorm bool
+	// SortedBreak is an extension beyond the paper: cell lists are sorted
+	// descending by score and the Algorithm 4 bound is monotone along
+	// that order, so a failing bound can abandon the whole level instead
+	// of just the subtree. Off by default for fidelity (ablation A5).
+	SortedBreak bool
+	// Parallelism spreads the independent ac-subspace searches over this
+	// many goroutines sharing one concurrent top-k. A stale pruning
+	// threshold only admits extra candidates, so parallel LORA's results
+	// are never worse than sequential LORA's — but the exact result set
+	// can vary between runs. <= 1 searches sequentially; negative uses
+	// GOMAXPROCS.
+	Parallelism int
+	// Stats, when non-nil, collects per-search counters (subspaces,
+	// cell tuples, rank-graph pops, sampling discards).
+	Stats *stats.Stats
+}
+
+// Search answers q approximately using the prebuilt partition index ix.
+func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *query.Query, opt Options) ([]topk.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sctx := simil.NewContext(ds, q)
+	radius := sctx.PartitionRadius()
+	part, err := ix.PartitionBucketed(radius)
+	if err != nil {
+		return nil, err
+	}
+	fixed0 := q.Example.FixedDim(0)
+	work := make([]*partition.Subspace, 0, len(part.Subspaces))
+	for si := range part.Subspaces {
+		ss := &part.Subspaces[si]
+		if fixed0 >= 0 && !ss.Core.Contains(ds.Object(int(fixed0)).Loc) {
+			continue
+		}
+		work = append(work, ss)
+	}
+
+	workers := opt.Parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		heap := topk.New(q.Params.K)
+		s := newSearcher(ctx, sctx, heap, q, opt)
+		for _, ss := range work {
+			if err := s.searchSubspace(ss); err != nil {
+				return nil, err
+			}
+		}
+		return heap.Results(), nil
+	}
+
+	sink := topk.NewConcurrent(q.Params.K)
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		errOnce sync.Once
+		callErr error
+	)
+	record := func(err error) {
+		errOnce.Do(func() { callErr = err })
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newSearcher(ctx, sctx, sink, q, opt)
+			for !stop.Load() {
+				i := next.Add(1) - 1
+				if int(i) >= len(work) {
+					return
+				}
+				if err := s.searchSubspace(work[i]); err != nil {
+					record(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if callErr != nil {
+		return nil, callErr
+	}
+	return sink.Results(), nil
+}
+
+func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, q *query.Query, opt Options) *searcher {
+	return &searcher{
+		ctx:   ctx,
+		sctx:  sctx,
+		heap:  sink,
+		q:     q,
+		opt:   opt,
+		st:    opt.Stats,
+		tuple: make([]int32, sctx.M),
+		locs:  make([]geo.Point, sctx.M),
+		asims: make([]float64, sctx.M),
+		dist:  make([]float64, 0, sctx.Pairs),
+	}
+}
+
+// localCounters batch per-subspace statistics so hot loops touch plain
+// ints, not atomics.
+type localCounters struct {
+	candidates, sampledOut, cellTuples, prunedCells, pops, tuples, offered int64
+}
+
+func (s *searcher) flushStats() {
+	s.st.AddCandidates(s.local.candidates)
+	s.st.AddSampledOut(s.local.sampledOut)
+	s.st.AddCellTuples(s.local.cellTuples)
+	s.st.AddPrunedCellPrefixes(s.local.prunedCells)
+	s.st.AddRankPops(s.local.pops)
+	s.st.AddTuples(s.local.tuples)
+	s.st.AddOffered(s.local.offered)
+	s.local = localCounters{}
+}
+
+type searcher struct {
+	ctx   context.Context
+	sctx  *simil.Context
+	heap  topk.Sink
+	q     *query.Query
+	opt   Options
+	st    *stats.Stats
+	local localCounters
+	steps int
+
+	// per-subspace state
+	g          *grid.Grid
+	buckets    [][][]simil.Cand // [dim][cell] sampled candidates, sorted desc
+	cellLists  [][]scoredCell   // [dim] non-empty cells sorted by score desc
+	rbarSuffix []float64
+	cellTuple  []int
+	simScratch [][]float64
+	listsBuf   [][]simil.Cand
+	enum       *rankgraph.Enumerator
+
+	// tuple assembly scratch
+	tuple []int32
+	locs  []geo.Point
+	asims []float64
+	dist  []float64
+}
+
+type scoredCell struct {
+	cell  int
+	score float64
+}
+
+// sortScoredCells orders cells by score descending, index ascending.
+func sortScoredCells(cs []scoredCell) {
+	slices.SortFunc(cs, func(a, b scoredCell) int {
+		switch {
+		case a.score > b.score:
+			return -1
+		case a.score < b.score:
+			return 1
+		default:
+			return a.cell - b.cell
+		}
+	})
+}
+
+const checkEvery = 1024
+
+func (s *searcher) checkCancel() error {
+	if s.steps++; s.steps%checkEvery == 0 {
+		select {
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+func (s *searcher) searchSubspace(ss *partition.Subspace) error {
+	c := s.sctx
+	m := c.M
+	g, err := grid.New(ss.AC, s.q.Params.GridD)
+	if err != nil {
+		return err
+	}
+	s.g = g
+	nc := g.NumCells()
+	if s.buckets == nil {
+		s.buckets = make([][][]simil.Cand, m)
+		s.cellLists = make([][]scoredCell, m)
+		s.rbarSuffix = make([]float64, m+1)
+		s.cellTuple = make([]int, m)
+		s.simScratch = make([][]float64, m)
+	}
+	for d := 0; d < m; d++ {
+		if s.buckets[d] == nil || len(s.buckets[d]) < nc {
+			s.buckets[d] = make([][]simil.Cand, nc)
+		}
+		for i := 0; i < nc; i++ {
+			s.buckets[d][i] = s.buckets[d][i][:0]
+		}
+		s.cellLists[d] = s.cellLists[d][:0]
+	}
+
+	// Bucket candidates per (dimension, cell); Point-Sample each bucket.
+	for d := 0; d < m; d++ {
+		if fixed := s.q.Example.FixedDim(d); fixed >= 0 {
+			loc := c.DS.Object(int(fixed)).Loc
+			region := ss.AC
+			if d == 0 {
+				region = ss.Core
+			}
+			if !region.Contains(loc) {
+				s.st.AddSubspacesSkipped(1)
+				s.flushStats()
+				return nil // subspace cannot host the pinned object
+			}
+			cell := g.Cell(loc)
+			s.buckets[d][cell] = append(s.buckets[d][cell], simil.Cand{Pos: fixed, Sim: c.AttrSim(d, fixed)})
+			s.cellLists[d] = append(s.cellLists[d], scoredCell{cell: cell, score: s.buckets[d][cell][0].Sim})
+			continue
+		}
+		source := ss.ACPoints
+		if d == 0 {
+			source = ss.CorePoints
+		}
+		cat := c.Ex.Categories[d]
+		for _, pos := range source {
+			o := c.DS.Object(int(pos))
+			if o.Category != cat {
+				continue
+			}
+			s.local.candidates++
+			cell := g.Cell(o.Loc)
+			s.buckets[d][cell] = append(s.buckets[d][cell], simil.Cand{Pos: pos, Sim: c.AttrSim(d, pos)})
+		}
+		for cell := 0; cell < nc; cell++ {
+			b := s.buckets[d][cell]
+			if len(b) == 0 {
+				continue
+			}
+			before := len(b)
+			s.buckets[d][cell] = s.sampleBucket(b, d, cell)
+			s.local.sampledOut += int64(before - len(s.buckets[d][cell]))
+			s.cellLists[d] = append(s.cellLists[d], scoredCell{cell: cell, score: s.buckets[d][cell][0].Sim})
+		}
+		if len(s.cellLists[d]) == 0 {
+			s.st.AddSubspacesSkipped(1)
+			s.flushStats()
+			return nil // no candidates for this dimension here
+		}
+	}
+	for d := 0; d < m; d++ {
+		sortScoredCells(s.cellLists[d])
+	}
+	s.rbarSuffix[m] = 0
+	for d := m - 1; d >= 0; d-- {
+		s.rbarSuffix[d] = s.rbarSuffix[d+1] + s.cellLists[d][0].score
+	}
+	s.st.AddSubspaces(1)
+	err = s.cellDFS(0, 0)
+	s.flushStats()
+	return err
+}
+
+// sampleBucket applies Point-Sample (Algorithm 6): sort descending by
+// attribute similarity and keep the first xi. With RandomSample the kept
+// set is a seeded random subset instead (the Fig. 4 strawman), re-sorted
+// descending so downstream ordering invariants hold.
+func (s *searcher) sampleBucket(b []simil.Cand, dim, cell int) []simil.Cand {
+	xi := s.q.Params.Xi
+	if s.opt.RandomSample && xi > 0 && len(b) > xi {
+		rng := newSplitMix(uint64(s.opt.RandomSeed) ^ uint64(dim)<<32 ^ uint64(cell))
+		for i := len(b) - 1; i > 0; i-- {
+			j := int(rng.next() % uint64(i+1))
+			b[i], b[j] = b[j], b[i]
+		}
+		b = b[:xi]
+	}
+	simil.SortCandidates(b)
+	if xi > 0 && len(b) > xi {
+		b = b[:xi]
+	}
+	return b
+}
+
+// cellDFS is Cell-Tuple-Enum (Algorithm 4).
+func (s *searcher) cellDFS(dim int, scoreSum float64) error {
+	c := s.sctx
+	for _, sc := range s.cellLists[dim] {
+		if err := s.checkCancel(); err != nil {
+			return err
+		}
+		sum := scoreSum + sc.score
+		// Algorithm 4: spatial similarity is bounded by 1 at the cell
+		// level; a failing bound prunes the cell's subtree.
+		vbar := (sum + s.rbarSuffix[dim+1]) / float64(c.M)
+		if !s.heap.WouldAccept(c.Combine(1, vbar)) {
+			s.local.prunedCells++
+			if s.opt.SortedBreak {
+				// extension: monotone along the score-sorted cell list
+				break
+			}
+			continue
+		}
+		s.cellTuple[dim] = sc.cell
+		if s.opt.PruneCellNorm && !s.cellPrefixFeasible(dim) {
+			continue
+		}
+		if dim+1 == c.M {
+			if err := s.pointEnum(); err != nil {
+				return err
+			}
+		} else {
+			if err := s.cellDFS(dim+1, sum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cellPrefixFeasible checks the optional beta-norm feasibility of the cell
+// prefix ending at dim: if even the minimal pairwise distances already
+// exceed beta*||V_t*||, or (at full depth) the maximal distances cannot
+// reach ||V_t*||/beta, no point tuple inside can satisfy the constraint.
+func (s *searcher) cellPrefixFeasible(dim int) bool {
+	c := s.sctx
+	if math.IsInf(c.Beta, 1) {
+		return true
+	}
+	if c.Metric != nil && !c.Metric.DominatesEuclidean() {
+		// Euclidean cell gaps do not lower-bound such a metric.
+		return true
+	}
+	limit := c.Beta * c.Norm
+	var minSq float64
+	for i := 0; i <= dim; i++ {
+		for j := 0; j < i; j++ {
+			if c.Active != nil && !c.Active[geo.PairIndex(j, i)] {
+				continue
+			}
+			d := s.g.MinDist(s.cellTuple[i], s.cellTuple[j])
+			minSq += d * d
+		}
+	}
+	if minSq > limit*limit {
+		return false
+	}
+	if dim+1 == c.M && c.Norm > 0 && c.Metric == nil {
+		// the max-side check needs an upper bound on distances, which
+		// Euclidean cell geometry only provides for the Euclidean metric
+		var maxSq float64
+		for i := 0; i <= dim; i++ {
+			for j := 0; j < i; j++ {
+				if c.Active != nil && !c.Active[geo.PairIndex(j, i)] {
+					continue
+				}
+				d := s.g.MaxDist(s.cellTuple[i], s.cellTuple[j])
+				maxSq += d * d
+			}
+		}
+		lower := c.Norm / c.Beta
+		if maxSq < lower*lower {
+			return false
+		}
+	}
+	return true
+}
+
+// pointEnum is Point-Tuple-Enum (Algorithm 5) for the current cell tuple.
+func (s *searcher) pointEnum() error {
+	c := s.sctx
+	m := c.M
+	s.local.cellTuples++
+	if s.listsBuf == nil {
+		s.listsBuf = make([][]simil.Cand, m)
+	}
+	lists := s.listsBuf
+	for d := 0; d < m; d++ {
+		lists[d] = s.buckets[d][s.cellTuple[d]]
+		if len(lists[d]) == 0 {
+			return nil
+		}
+		sims := s.simScratch[d][:0]
+		for _, cd := range lists[d] {
+			sims = append(sims, cd.Sim)
+		}
+		s.simScratch[d] = sims
+	}
+	// Fast path: a cell tuple with exactly one combination (common in
+	// sparse regions) needs no rank-graph machinery.
+	single := m <= len(singleRanks)
+	for d := 0; single && d < m; d++ {
+		if len(lists[d]) != 1 {
+			single = false
+		}
+	}
+	if single {
+		var total float64
+		for d := 0; d < m; d++ {
+			total += lists[d][0].Sim
+		}
+		if s.heap.WouldAccept(c.Combine(1, total/float64(m))) {
+			s.assembleTuple(lists, singleRanks[:m])
+		}
+		return nil
+	}
+
+	if s.enum == nil {
+		s.enum = rankgraph.New(s.simScratch[:m])
+	} else {
+		s.enum.Reset(s.simScratch[:m])
+	}
+	en := s.enum
+	validPops := 0
+	k := s.heap.K()
+	for {
+		if err := s.checkCancel(); err != nil {
+			return err
+		}
+		ranks, total, ok := en.Next()
+		if !ok {
+			return nil
+		}
+		s.local.pops++
+		attrMean := total / float64(m)
+		// Future pops have lower attribute totals; once even a perfect
+		// spatial similarity cannot beat the k-th result, stop.
+		if !s.heap.WouldAccept(c.Combine(1, attrMean)) {
+			return nil
+		}
+		if s.assembleTuple(lists, ranks) {
+			validPops++
+			if validPops >= k {
+				// Observation 2: the per-subspace (here per cell tuple)
+				// top-k by attribute similarity suffices.
+				return nil
+			}
+		}
+	}
+}
+
+// assembleTuple materialises the popped rank vector, applies the duplicate
+// and beta-norm checks, and offers the tuple to the global top-k. It
+// reports whether the tuple was valid (passed the checks).
+func (s *searcher) assembleTuple(lists [][]simil.Cand, ranks []int32) bool {
+	c := s.sctx
+	m := c.M
+	for d := 0; d < m; d++ {
+		cd := lists[d][ranks[d]]
+		s.tuple[d] = cd.Pos
+		s.locs[d] = c.DS.Object(int(cd.Pos)).Loc
+		s.asims[d] = cd.Sim
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if s.tuple[i] == s.tuple[j] {
+				return false
+			}
+		}
+	}
+	s.local.tuples++
+	s.dist = c.DistVectorOf(s.locs, s.dist)
+	if !c.NormOK(geo.Norm(s.dist)) {
+		return false
+	}
+	if s.heap.Offer(s.tuple, c.TupleSim(s.dist, s.asims)) {
+		s.local.offered++
+	}
+	return true
+}
+
+// singleRanks is the all-zero rank vector reused by the singleton fast
+// path (the maximum tuple size is small; 16 is far beyond any practical m).
+var singleRanks [16]int32
+
+// splitMix is a tiny deterministic PRNG for the RandomSample ablation.
+type splitMix uint64
+
+func newSplitMix(seed uint64) *splitMix {
+	s := splitMix(seed)
+	return &s
+}
+
+func (s *splitMix) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

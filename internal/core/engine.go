@@ -1,0 +1,229 @@
+// Package core hosts the query engine: the algorithm-agnostic entry point
+// that validates a query, picks (or is told) an algorithm, runs it against
+// a shared immutable dataset, and returns scored, ranked tuples.
+//
+// An Engine is built once per dataset; the partition index (an STR R-tree
+// over the point locations) is shared by all queries and all algorithms.
+// Engines are safe for concurrent Search calls.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"spatialseq/internal/algo/brute"
+	"spatialseq/internal/algo/dfsprune"
+	"spatialseq/internal/algo/hsp"
+	"spatialseq/internal/algo/lora"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/partition"
+	"spatialseq/internal/query"
+	"spatialseq/internal/stats"
+	"spatialseq/internal/topk"
+)
+
+// Algorithm selects the search algorithm.
+type Algorithm int
+
+const (
+	// Auto picks LORA for large datasets and HSP for small ones.
+	Auto Algorithm = iota
+	// BruteForce is the exhaustive oracle (tiny datasets only).
+	BruteForce
+	// DFSPrune is the CIKM'17 baseline.
+	DFSPrune
+	// HSP is the paper's exact algorithm.
+	HSP
+	// LORA is the paper's approximate algorithm.
+	LORA
+)
+
+// autoHSPLimit is the candidate-volume ceiling up to which Auto prefers
+// the exact HSP: the sum over example dimensions of the matching
+// category's population. Raw dataset size is a poor proxy — a query over
+// three niche categories of a 10M-POI corpus is still cheap exactly, while
+// three mega-categories of a 50k corpus already call for LORA.
+const autoHSPLimit = 60000
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case BruteForce:
+		return "brute"
+	case DFSPrune:
+		return "dfs-prune"
+	case HSP:
+		return "hsp"
+	case LORA:
+		return "lora"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a string (as accepted on CLI flags) to an
+// Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "auto", "":
+		return Auto, nil
+	case "brute":
+		return BruteForce, nil
+	case "dfs-prune", "dfsprune", "dfs":
+		return DFSPrune, nil
+	case "hsp":
+		return HSP, nil
+	case "lora":
+		return LORA, nil
+	default:
+		return Auto, fmt.Errorf("core: unknown algorithm %q", s)
+	}
+}
+
+// Options carries per-call tuning for the underlying algorithms. The zero
+// value is the paper's configuration.
+type Options struct {
+	HSP  hsp.Options
+	LORA lora.Options
+	// CollectStats attaches per-search counters to the Result
+	// (Result.Stats) explaining where the search spent its work.
+	CollectStats bool
+}
+
+// ResultTuple is one ranked answer: the matched objects (one per example
+// dimension, as dataset positions) and the similarity to the example.
+type ResultTuple struct {
+	Positions []int32
+	Sim       float64
+}
+
+// Result is a completed search.
+type Result struct {
+	Algorithm Algorithm
+	Tuples    []ResultTuple
+	Elapsed   time.Duration
+	// Stats holds the per-search counters when Options.CollectStats was
+	// set (zero otherwise).
+	Stats stats.Snapshot
+}
+
+// Engine answers example-based queries over one dataset.
+type Engine struct {
+	ds  *dataset.Dataset
+	pix *partition.Index
+}
+
+// NewEngine builds the engine and its shared spatial index.
+func NewEngine(ds *dataset.Dataset) *Engine {
+	pts := make([]geo.Point, ds.Len())
+	for i := range pts {
+		pts[i] = ds.Object(i).Loc
+	}
+	return &Engine{ds: ds, pix: partition.NewIndex(pts)}
+}
+
+// Dataset returns the engine's dataset.
+func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
+
+// PartitionIndex exposes the shared partition index (used by benchmarks
+// that want to isolate index construction from query time).
+func (e *Engine) PartitionIndex() *partition.Index { return e.pix }
+
+// Search answers q with the requested algorithm. It validates (and
+// normalizes) q first. The context cancels long runs.
+func (e *Engine) Search(ctx context.Context, q *query.Query, algo Algorithm, opt Options) (*Result, error) {
+	if err := q.Validate(e.ds); err != nil {
+		return nil, err
+	}
+	if algo == Auto {
+		algo = e.chooseAuto(q)
+	}
+	var st *stats.Stats
+	if opt.CollectStats {
+		st = &stats.Stats{}
+		opt.HSP.Stats = st
+		opt.LORA.Stats = st
+	}
+	start := time.Now()
+	var (
+		entries []topk.Entry
+		err     error
+	)
+	switch algo {
+	case BruteForce:
+		entries = brute.Search(e.ds, q)
+	case DFSPrune:
+		entries, err = dfsprune.SearchStats(ctx, e.ds, q, st)
+	case HSP:
+		entries, err = hsp.Search(ctx, e.ds, e.pix, q, opt.HSP)
+	case LORA:
+		entries, err = lora.Search(ctx, e.ds, e.pix, q, opt.LORA)
+	default:
+		return nil, fmt.Errorf("core: unsupported algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Algorithm: algo, Elapsed: time.Since(start), Stats: st.Snapshot()}
+	res.Tuples = make([]ResultTuple, len(entries))
+	for i, en := range entries {
+		res.Tuples[i] = ResultTuple{Positions: en.Tuple, Sim: en.Sim}
+	}
+	return res, nil
+}
+
+// chooseAuto picks the algorithm for a validated query: the exact HSP
+// while the candidate volume (summed matching-category populations)
+// stays small, LORA beyond that.
+func (e *Engine) chooseAuto(q *query.Query) Algorithm {
+	var candidates int
+	for _, cat := range q.Example.Categories {
+		candidates += len(e.ds.CategoryObjects(cat))
+	}
+	if candidates > autoHSPLimit {
+		return LORA
+	}
+	return HSP
+}
+
+// SnapResult is one nearest-object match for an example-selection click.
+type SnapResult struct {
+	// Position is the object's dataset position.
+	Position int32
+	// Dist is the distance from the click to the object.
+	Dist float64
+}
+
+// Snap returns the k dataset objects nearest to p, optionally restricted
+// to one category (pass dataset.NoCategory for no restriction). It backs
+// the "example selection" interaction of the paper's Fig. 2: the user
+// clicks map positions and the service snaps each click to a real object
+// whose category and attributes seed the example.
+func (e *Engine) Snap(p geo.Point, cat dataset.CategoryID, k int) []SnapResult {
+	var filter func(int32) bool
+	if cat != dataset.NoCategory {
+		filter = func(ref int32) bool {
+			return e.ds.Object(int(ref)).Category == cat
+		}
+	}
+	nbs := e.pix.Tree().Nearest(p, k, filter)
+	out := make([]SnapResult, len(nbs))
+	for i, nb := range nbs {
+		out[i] = SnapResult{Position: nb.Ref, Dist: nb.Dist}
+	}
+	return out
+}
+
+// Similarities returns the result similarities best-first — the series the
+// evaluation harness compares between algorithms.
+func (r *Result) Similarities() []float64 {
+	out := make([]float64, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out[i] = t.Sim
+	}
+	return out
+}

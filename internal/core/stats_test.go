@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+func TestCollectStats(t *testing.T) {
+	eng, q := setup(t, 300)
+	ctx := context.Background()
+
+	for _, algo := range []Algorithm{DFSPrune, HSP, LORA} {
+		qq := *q
+		res, err := eng.Search(ctx, &qq, algo, Options{CollectStats: true})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		st := res.Stats
+		if st.Subspaces == 0 {
+			t.Errorf("%v: no subspaces counted", algo)
+		}
+		if st.Candidates == 0 {
+			t.Errorf("%v: no candidates counted", algo)
+		}
+		if len(res.Tuples) > 0 && st.Offered == 0 {
+			t.Errorf("%v: results returned but no offers counted", algo)
+		}
+		if st.Offered > st.Tuples && algo != LORA {
+			// every offer stems from a scored tuple
+			t.Errorf("%v: offered %d > tuples %d", algo, st.Offered, st.Tuples)
+		}
+		if algo == LORA {
+			if st.CellTuples == 0 {
+				t.Errorf("LORA: no cell tuples counted")
+			}
+			if st.RankPops == 0 && st.CellTuples > 0 {
+				// singleton fast paths may bypass the rank graph entirely;
+				// with default xi and clustered data at this size, at
+				// least some multi-point cells should exist
+				t.Logf("LORA: all cell tuples were singletons (rank pops 0)")
+			}
+		}
+	}
+}
+
+func TestStatsDisabledByDefault(t *testing.T) {
+	eng, q := setup(t, 100)
+	res, err := eng.Search(context.Background(), q, HSP, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Subspaces != 0 || res.Stats.Candidates != 0 {
+		t.Errorf("stats collected without CollectStats: %+v", res.Stats)
+	}
+}
+
+func TestStatsParallelConsistency(t *testing.T) {
+	eng, q := setup(t, 500)
+	ctx := context.Background()
+
+	seqQ := *q
+	seqRes, err := eng.Search(ctx, &seqQ, HSP, Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parQ := *q
+	opt := Options{CollectStats: true}
+	opt.HSP.Parallelism = 4
+	parRes, err := eng.Search(ctx, &parQ, HSP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subspace and candidate totals are schedule-independent.
+	if seqRes.Stats.Subspaces != parRes.Stats.Subspaces {
+		t.Errorf("subspace counts differ: %d vs %d", seqRes.Stats.Subspaces, parRes.Stats.Subspaces)
+	}
+	if seqRes.Stats.Candidates != parRes.Stats.Candidates {
+		t.Errorf("candidate counts differ: %d vs %d", seqRes.Stats.Candidates, parRes.Stats.Candidates)
+	}
+}

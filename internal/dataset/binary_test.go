@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ds := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() || got.AttrDim() != ds.AttrDim() || got.NumCategories() != ds.NumCategories() {
+		t.Fatalf("shape mismatch: %d/%d/%d", got.Len(), got.AttrDim(), got.NumCategories())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		a, b := ds.Object(i), got.Object(i)
+		if a.ID != b.ID || a.Loc != b.Loc || a.Name != b.Name || a.Category != b.Category {
+			t.Errorf("object %d diverged: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Attr {
+			if a.Attr[j] != b.Attr[j] {
+				t.Errorf("object %d attr %d: %g vs %g", i, j, a.Attr[j], b.Attr[j])
+			}
+		}
+	}
+	if ds.CategoryName(0) != got.CategoryName(0) {
+		t.Error("category names diverged")
+	}
+}
+
+func TestBinaryEmptyDataset(t *testing.T) {
+	b := &Builder{}
+	b.Category("only")
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.NumCategories() != 1 {
+		t.Errorf("empty round trip: %d objects, %d categories", got.Len(), got.NumCategories())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC========================"),
+		append(append([]byte{}, binaryMagic[:]...), 0xff, 0xff, 0xff, 0xff), // truncated header
+	}
+	for i, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestBinaryRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	// 2^31 categories
+	buf.Write([]byte{0, 0, 0, 0x80})
+	buf.Write([]byte{0, 0, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Error("implausible header should be rejected")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	ds := buildSmall(t)
+	path := t.TempDir() + "/ds.bin"
+	if err := WriteBinaryFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Errorf("Len = %d", got.Len())
+	}
+}
+
+func TestReadAnyFileSniffsFormats(t *testing.T) {
+	ds := buildSmall(t)
+	dir := t.TempDir()
+
+	binPath := dir + "/ds.bin"
+	if err := WriteBinaryFile(binPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAnyFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Errorf("binary sniff Len = %d", got.Len())
+	}
+
+	csvPath := dir + "/ds.csv"
+	if err := WriteFile(csvPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAnyFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Errorf("CSV sniff Len = %d", got.Len())
+	}
+
+	if _, err := ReadAnyFile(dir + "/missing"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestBinaryLongNameRejected(t *testing.T) {
+	b := &Builder{}
+	c := b.Category("c")
+	b.Add(Object{ID: 1, Category: c, Attr: []float64{1}, Name: strings.Repeat("x", maxBinaryName+1)})
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err == nil {
+		t.Error("oversized name should be rejected")
+	}
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"spatialseq/internal/geo"
+)
+
+// CSV layout: one header row, then one row per object:
+//
+//	id,x,y,category,name,attr0,attr1,...
+//
+// The attribute dimensionality is inferred from the header (columns after
+// "name"). WriteCSV and ReadCSV round-trip exactly in this layout.
+
+// WriteCSV writes d to w in the library's CSV layout.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	header := []string{"id", "x", "y", "category", "name"}
+	for i := 0; i < d.AttrDim(); i++ {
+		header = append(header, fmt.Sprintf("attr%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for i := 0; i < d.Len(); i++ {
+		o := d.Object(i)
+		row = row[:0]
+		row = append(row,
+			strconv.FormatInt(o.ID, 10),
+			strconv.FormatFloat(o.Loc.X, 'g', -1, 64),
+			strconv.FormatFloat(o.Loc.Y, 'g', -1, 64),
+			d.CategoryName(o.Category),
+			o.Name,
+		)
+		for _, a := range o.Attr {
+			row = append(row, strconv.FormatFloat(a, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset from the library's CSV layout.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) < 5 || header[0] != "id" {
+		return nil, fmt.Errorf("dataset: unexpected CSV header %q", strings.Join(header, ","))
+	}
+	attrDim := len(header) - 5
+	b := &Builder{}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != 5+attrDim {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(rec), 5+attrDim)
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad id %q", line, rec[0])
+		}
+		x, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad x %q", line, rec[1])
+		}
+		y, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad y %q", line, rec[2])
+		}
+		attrs := make([]float64, attrDim)
+		for i := 0; i < attrDim; i++ {
+			a, err := strconv.ParseFloat(rec[5+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: bad attr%d %q", line, i, rec[5+i])
+			}
+			attrs[i] = a
+		}
+		obj := Object{
+			ID:       id,
+			Loc:      geo.Point{X: x, Y: y},
+			Category: b.Category(rec[3]),
+			Name:     rec[4],
+			Attr:     attrs,
+		}
+		b.Add(obj)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteFile writes d as CSV to path.
+func WriteFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses a CSV dataset from path.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

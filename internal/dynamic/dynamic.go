@@ -1,0 +1,196 @@
+// Package dynamic maintains a searchable engine over a POI set that
+// changes over time — openings, closures, edits — which the core library's
+// immutable Dataset cannot absorb directly.
+//
+// The design is epoch-based, the standard recipe for read-heavy spatial
+// serving: readers always search a stable snapshot engine while writers
+// accumulate deltas; a Refresh (explicit, or automatic once the delta
+// count crosses the policy threshold) builds the next snapshot from
+// base + deltas and atomically swaps it in. Search results can therefore
+// lag behind writes by at most one refresh — the same staleness contract
+// production map indexes run with.
+package dynamic
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/query"
+)
+
+// Policy controls automatic refreshes.
+type Policy struct {
+	// MaxPending triggers a synchronous rebuild once this many deltas
+	// are queued. <= 0 disables automatic refreshes (call Refresh).
+	MaxPending int
+}
+
+// Store is a mutable POI set with snapshot-consistent search.
+type Store struct {
+	policy Policy
+
+	mu      sync.RWMutex
+	eng     *core.Engine
+	adds    []pendingAdd
+	removes map[int64]bool
+}
+
+type pendingAdd struct {
+	category string
+	obj      dataset.Object
+}
+
+// NewStore starts from an initial dataset snapshot.
+func NewStore(ds *dataset.Dataset, policy Policy) *Store {
+	return &Store{
+		policy:  policy,
+		eng:     core.NewEngine(ds),
+		removes: make(map[int64]bool),
+	}
+}
+
+// Engine returns the current snapshot engine. The engine stays valid after
+// later refreshes (snapshots are immutable); callers wanting fresher data
+// simply call Engine again.
+func (s *Store) Engine() *core.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng
+}
+
+// Search answers q against the current snapshot.
+func (s *Store) Search(ctx context.Context, q *query.Query, algo core.Algorithm, opt core.Options) (*core.Result, error) {
+	return s.Engine().Search(ctx, q, algo, opt)
+}
+
+// Add queues a new object under the given category name (created on the
+// next refresh if new). obj.Category is ignored; obj.ID must be unique
+// among live objects. The object becomes searchable after the next
+// refresh.
+func (s *Store) Add(category string, obj dataset.Object) error {
+	s.mu.Lock()
+	ds := s.eng.Dataset()
+	if s.liveIDLocked(ds, obj.ID) {
+		s.mu.Unlock()
+		return fmt.Errorf("dynamic: object id %d already live", obj.ID)
+	}
+	delete(s.removes, obj.ID) // re-adding a previously removed id
+	s.adds = append(s.adds, pendingAdd{category: category, obj: obj})
+	due := s.dueLocked()
+	s.mu.Unlock()
+	if due {
+		return s.Refresh()
+	}
+	return nil
+}
+
+// Remove queues the deletion of the object with this ID. It reports
+// whether the ID was live (in the snapshot or the pending adds).
+func (s *Store) Remove(id int64) bool {
+	s.mu.Lock()
+	// drop a matching pending add first
+	for i, pa := range s.adds {
+		if pa.obj.ID == id {
+			s.adds = append(s.adds[:i], s.adds[i+1:]...)
+			s.mu.Unlock()
+			return true
+		}
+	}
+	ds := s.eng.Dataset()
+	found := false
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Object(i).ID == id {
+			found = true
+			break
+		}
+	}
+	if !found || s.removes[id] {
+		s.mu.Unlock()
+		return false
+	}
+	s.removes[id] = true
+	due := s.dueLocked()
+	s.mu.Unlock()
+	if due {
+		_ = s.Refresh()
+	}
+	return true
+}
+
+// liveIDLocked reports whether id exists in the snapshot (and is not
+// pending removal) or among the pending adds. Callers hold s.mu.
+func (s *Store) liveIDLocked(ds *dataset.Dataset, id int64) bool {
+	for _, pa := range s.adds {
+		if pa.obj.ID == id {
+			return true
+		}
+	}
+	if s.removes[id] {
+		return false
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Object(i).ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) dueLocked() bool {
+	return s.policy.MaxPending > 0 && len(s.adds)+len(s.removes) >= s.policy.MaxPending
+}
+
+// Pending returns the queued delta count.
+func (s *Store) Pending() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.adds) + len(s.removes)
+}
+
+// Refresh builds the next snapshot from base + deltas and swaps it in.
+// The rebuild holds the write lock, briefly blocking new Engine() calls
+// (searches already holding an engine snapshot are unaffected — snapshots
+// are immutable). For the delta volumes the policy threshold allows, the
+// rebuild is a bulk load plus one index build.
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.adds) == 0 && len(s.removes) == 0 {
+		return nil
+	}
+	base := s.eng.Dataset()
+	b := &dataset.Builder{}
+	// preserve existing categories (and their IDs) by interning in order
+	for c := 0; c < base.NumCategories(); c++ {
+		b.Category(base.CategoryName(dataset.CategoryID(c)))
+	}
+	for i := 0; i < base.Len(); i++ {
+		o := base.Object(i)
+		if s.removes[o.ID] {
+			continue
+		}
+		b.Add(*o)
+	}
+	for _, pa := range s.adds {
+		obj := pa.obj
+		obj.Category = b.Category(pa.category)
+		b.Add(obj)
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("dynamic: rebuilding snapshot: %w", err)
+	}
+	s.eng = core.NewEngine(ds)
+	s.adds = nil
+	clear(s.removes)
+	return nil
+}
+
+// Len returns the live object count of the current snapshot (queued adds
+// and removes are not reflected until Refresh).
+func (s *Store) Len() int {
+	return s.Engine().Dataset().Len()
+}

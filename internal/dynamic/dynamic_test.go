@@ -1,0 +1,227 @@
+package dynamic
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+	"spatialseq/internal/testutil"
+)
+
+func newStore(t *testing.T, n int, policy Policy) *Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(161))
+	ds := testutil.RandDataset(rng, n, 3, 4, 100)
+	return NewStore(ds, policy)
+}
+
+func obj(id int64, x, y float64) dataset.Object {
+	return dataset.Object{
+		ID:   id,
+		Loc:  geo.Point{X: x, Y: y},
+		Attr: []float64{0.5, 0.5, 0.5, 0.5},
+		Name: "new",
+	}
+}
+
+func TestAddVisibleAfterRefresh(t *testing.T) {
+	s := newStore(t, 50, Policy{})
+	before := s.Len()
+	if err := s.Add("cat-0", obj(1000, 5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != before {
+		t.Error("adds must not be visible before refresh")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != before+1 {
+		t.Errorf("Len after refresh = %d, want %d", s.Len(), before+1)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending after refresh = %d", s.Pending())
+	}
+}
+
+func TestAddRejectsDuplicateID(t *testing.T) {
+	s := newStore(t, 20, Policy{})
+	existing := s.Engine().Dataset().Object(0).ID
+	if err := s.Add("cat-0", obj(existing, 1, 1)); err == nil {
+		t.Error("duplicate live id should be rejected")
+	}
+	if err := s.Add("cat-0", obj(5000, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("cat-0", obj(5000, 2, 2)); err == nil {
+		t.Error("duplicate pending id should be rejected")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := newStore(t, 30, Policy{})
+	id := s.Engine().Dataset().Object(3).ID
+	if !s.Remove(id) {
+		t.Fatal("removing a live id should succeed")
+	}
+	if s.Remove(id) {
+		t.Error("double remove should report false")
+	}
+	if s.Remove(99999) {
+		t.Error("removing an unknown id should report false")
+	}
+	before := s.Len()
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != before-1 {
+		t.Errorf("Len after refresh = %d, want %d", s.Len(), before-1)
+	}
+}
+
+func TestRemovePendingAdd(t *testing.T) {
+	s := newStore(t, 20, Policy{})
+	if err := s.Add("cat-0", obj(7777, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Remove(7777) {
+		t.Error("removing a pending add should succeed")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	before := s.Len()
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != before {
+		t.Error("cancelled add must not appear")
+	}
+}
+
+func TestNewCategoryOnRefresh(t *testing.T) {
+	s := newStore(t, 20, Policy{})
+	if err := s.Add("brand-new-category", obj(8888, 3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	ds := s.Engine().Dataset()
+	if _, ok := ds.CategoryByName("brand-new-category"); !ok {
+		t.Error("new category should exist after refresh")
+	}
+	// existing category IDs preserved
+	if name := ds.CategoryName(0); name != "cat-0" {
+		t.Errorf("category 0 renamed to %q", name)
+	}
+}
+
+func TestAutoRefreshPolicy(t *testing.T) {
+	s := newStore(t, 20, Policy{MaxPending: 3})
+	base := s.Len()
+	for i := 0; i < 3; i++ {
+		if err := s.Add("cat-0", obj(int64(2000+i), float64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("auto refresh should have fired; pending = %d", s.Pending())
+	}
+	if s.Len() != base+3 {
+		t.Errorf("Len = %d, want %d", s.Len(), base+3)
+	}
+}
+
+func TestSearchReflectsRefresh(t *testing.T) {
+	s := newStore(t, 100, Policy{})
+	ds := s.Engine().Dataset()
+	// add a perfect clone of an existing object pair far away so it ranks
+	a, b := ds.Object(0), ds.Object(1)
+	q := &query.Query{
+		Variant: query.CSEQ,
+		Example: query.Example{
+			Categories: []dataset.CategoryID{a.Category, b.Category},
+			Locations:  []geo.Point{a.Loc, b.Loc},
+			Attrs:      [][]float64{a.Attr, b.Attr},
+		},
+		Params: query.Params{K: 3, Alpha: 0.5, Beta: 3, GridD: 4, Xi: 10},
+	}
+	res1, err := s.Search(context.Background(), q, core.HSP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// remove the best result's first object; after refresh the old winner
+	// cannot appear
+	victim := res1.Tuples[0].Positions[0]
+	victimID := ds.Object(int(victim)).ID
+	if !s.Remove(victimID) {
+		t.Fatal("remove failed")
+	}
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	q2 := *q
+	res2, err := s.Search(context.Background(), &q2, core.HSP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nds := s.Engine().Dataset()
+	for _, tup := range res2.Tuples {
+		for _, pos := range tup.Positions {
+			if nds.Object(int(pos)).ID == victimID {
+				t.Error("removed object still appears in results")
+			}
+		}
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := newStore(t, 200, Policy{MaxPending: 10})
+	ds := s.Engine().Dataset()
+	a, b := ds.Object(0), ds.Object(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := &query.Query{
+					Variant: query.CSEQ,
+					Example: query.Example{
+						Categories: []dataset.CategoryID{a.Category, b.Category},
+						Locations:  []geo.Point{a.Loc, b.Loc},
+						Attrs:      [][]float64{a.Attr, b.Attr},
+					},
+					Params: query.Params{K: 2, Alpha: 0.5, Beta: 3, GridD: 4, Xi: 10},
+				}
+				if _, err := s.Search(context.Background(), q, core.LORA, core.Options{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = s.Add("cat-0", obj(int64(9000+i), float64(i%40), float64(i%40)))
+		}
+	}()
+	wg.Wait()
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 250 {
+		t.Errorf("Len = %d, want 250", s.Len())
+	}
+}

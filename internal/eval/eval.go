@@ -1,0 +1,145 @@
+// Package eval runs algorithm comparisons over query sets and computes the
+// metrics the paper reports: per-query cost, average top-k similarity,
+// and the MAE / STD / MAX error statistics of the approximate algorithm
+// against the exact one (Tables II and III).
+package eval
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/query"
+	"spatialseq/internal/vectormath"
+)
+
+// QueryRun records one query execution.
+type QueryRun struct {
+	Sims    []float64
+	Elapsed time.Duration
+}
+
+// AlgoRun aggregates one algorithm over a query set.
+type AlgoRun struct {
+	Algo core.Algorithm
+	// Runs holds one entry per completed query, aligned with the query
+	// set prefix [0, Completed).
+	Runs []QueryRun
+	// TimedOut reports that the budget expired before all queries ran —
+	// the ">24hours" cells of Table II.
+	TimedOut bool
+	// Total is the wall time spent on completed queries.
+	Total time.Duration
+}
+
+// Completed returns the number of queries that finished.
+func (a *AlgoRun) Completed() int { return len(a.Runs) }
+
+// MeanTime returns the average per-query cost over completed queries.
+func (a *AlgoRun) MeanTime() time.Duration {
+	if len(a.Runs) == 0 {
+		return 0
+	}
+	return a.Total / time.Duration(len(a.Runs))
+}
+
+// AvgSim returns the mean of all result similarities across completed
+// queries (the "average similarity" series of Figs. 9-11).
+func (a *AlgoRun) AvgSim() float64 {
+	var sum float64
+	var n int
+	for _, r := range a.Runs {
+		for _, s := range r.Sims {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RunQueries executes the query set with one algorithm under a total time
+// budget. A budget of 0 means unlimited. When the budget expires the run
+// is cut short with TimedOut=true and the completed prefix retained.
+func RunQueries(ctx context.Context, eng *core.Engine, queries []*query.Query, algo core.Algorithm, opt core.Options, budget time.Duration) *AlgoRun {
+	run := &AlgoRun{Algo: algo}
+	deadline := time.Time{}
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	for _, q := range queries {
+		qctx := ctx
+		var cancel context.CancelFunc
+		if !deadline.IsZero() {
+			if !time.Now().Before(deadline) {
+				run.TimedOut = true
+				break
+			}
+			qctx, cancel = context.WithDeadline(ctx, deadline)
+		}
+		qq := *q // Search normalizes params in place; keep callers' copy pristine
+		res, err := eng.Search(qctx, &qq, algo, opt)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			if ctx.Err() != nil || qctx.Err() != nil {
+				run.TimedOut = true
+				break
+			}
+			// validation errors abort deterministically: surface by panic
+			// would hide bugs; record as timed-out-free failure instead.
+			run.TimedOut = true
+			break
+		}
+		run.Runs = append(run.Runs, QueryRun{Sims: res.Similarities(), Elapsed: res.Elapsed})
+		run.Total += res.Elapsed
+	}
+	return run
+}
+
+// ErrorStats compares an approximate run against an exact run over the
+// same query set and returns the paper's error statistics:
+//
+//	MAE — mean absolute similarity error across all (query, rank) pairs;
+//	STD — standard deviation of those errors;
+//	MAX — the largest single error.
+//
+// Ranks the approximate run is missing (it returned fewer tuples) count
+// the exact similarity as the error. Only the overlap of completed
+// queries is compared.
+func ErrorStats(exact, approx *AlgoRun) vectormath.Stats {
+	n := len(exact.Runs)
+	if len(approx.Runs) < n {
+		n = len(approx.Runs)
+	}
+	var errs []float64
+	for i := 0; i < n; i++ {
+		es, as := exact.Runs[i].Sims, approx.Runs[i].Sims
+		for j := range es {
+			var a float64
+			if j < len(as) {
+				a = as[j]
+			}
+			errs = append(errs, math.Abs(es[j]-a))
+		}
+	}
+	return vectormath.Summarize(errs)
+}
+
+// Speedup returns how many times faster b ran than a (per mean query
+// cost), or +Inf when b completed queries and a completed none.
+func Speedup(a, b *AlgoRun) float64 {
+	mb := b.MeanTime()
+	if mb <= 0 {
+		return math.Inf(1)
+	}
+	ma := a.MeanTime()
+	if ma <= 0 && a.Completed() == 0 {
+		return math.Inf(1)
+	}
+	return float64(ma) / float64(mb)
+}

@@ -1,0 +1,207 @@
+package eval
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/query"
+	"spatialseq/internal/testutil"
+	"spatialseq/internal/workload"
+)
+
+func smallSetup(t *testing.T, n int) (*core.Engine, []*query.Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	ds := testutil.RandDataset(rng, n, 3, 4, 100)
+	qs, err := workload.Generate(ds, workload.Config{
+		Count: 5, M: 3, Mode: workload.Random,
+		Params: query.Params{K: 3, Alpha: 0.5, Beta: 1.5, GridD: 4, Xi: 10},
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(ds), qs
+}
+
+func TestRunQueriesCompletes(t *testing.T) {
+	eng, qs := smallSetup(t, 200)
+	run := RunQueries(context.Background(), eng, qs, core.HSP, core.Options{}, 0)
+	if run.TimedOut {
+		t.Error("unlimited budget must not time out")
+	}
+	if run.Completed() != len(qs) {
+		t.Errorf("completed %d of %d", run.Completed(), len(qs))
+	}
+	if run.MeanTime() <= 0 {
+		t.Error("mean time should be positive")
+	}
+	if s := run.AvgSim(); s <= 0 || s > 1 {
+		t.Errorf("AvgSim = %g", s)
+	}
+}
+
+func TestRunQueriesBudget(t *testing.T) {
+	eng, qs := smallSetup(t, 3000)
+	// an absurdly small budget must cut the run short
+	run := RunQueries(context.Background(), eng, qs, core.DFSPrune, core.Options{}, time.Nanosecond)
+	if !run.TimedOut {
+		t.Error("nanosecond budget should time out")
+	}
+	if run.Completed() == len(qs) {
+		t.Error("timed-out run should not complete everything")
+	}
+}
+
+func TestRunQueriesDoesNotMutateCallerQueries(t *testing.T) {
+	eng, qs := smallSetup(t, 150)
+	before := qs[0].Params
+	RunQueries(context.Background(), eng, qs, core.LORA, core.Options{}, 0)
+	if qs[0].Params != before {
+		t.Error("RunQueries must not normalize the caller's query in place")
+	}
+}
+
+func TestErrorStatsZeroForExactVsItself(t *testing.T) {
+	eng, qs := smallSetup(t, 200)
+	a := RunQueries(context.Background(), eng, qs, core.HSP, core.Options{}, 0)
+	b := RunQueries(context.Background(), eng, qs, core.HSP, core.Options{}, 0)
+	st := ErrorStats(a, b)
+	if st.Mean != 0 || st.Max != 0 {
+		t.Errorf("exact vs itself: MAE=%g MAX=%g", st.Mean, st.Max)
+	}
+}
+
+func TestErrorStatsLORA(t *testing.T) {
+	eng, qs := smallSetup(t, 400)
+	exact := RunQueries(context.Background(), eng, qs, core.HSP, core.Options{}, 0)
+	approx := RunQueries(context.Background(), eng, qs, core.LORA, core.Options{}, 0)
+	st := ErrorStats(exact, approx)
+	if st.Mean < 0 || st.Max < st.Mean {
+		t.Errorf("inconsistent stats: %+v", st)
+	}
+	if st.Mean > 0.2 {
+		t.Errorf("LORA MAE %g implausibly large on a small dataset", st.Mean)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := &AlgoRun{Runs: []QueryRun{{}}, Total: 100 * time.Millisecond}
+	b := &AlgoRun{Runs: []QueryRun{{}}, Total: 10 * time.Millisecond}
+	if got := Speedup(a, b); got < 9.9 || got > 10.1 {
+		t.Errorf("Speedup = %g, want ~10", got)
+	}
+}
+
+func TestTable2SmokeAndShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sizes = []int{300, 800}
+	cfg.QueryCount = 3
+	cfg.Budget = 30 * time.Second
+	var sb strings.Builder
+	if err := Table2(context.Background(), &sb, Gaode, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table II", "DFS-Prune", "HSP", "LORA", "300", "800"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sizes = []int{300}
+	cfg.QueryCount = 3
+	var sb strings.Builder
+	if err := Table3(context.Background(), &sb, Yelp, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "STD") || !strings.Contains(sb.String(), "MAX") {
+		t.Errorf("Table3 output malformed:\n%s", sb.String())
+	}
+}
+
+func TestFig9GridDSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCount = 3
+	var sb strings.Builder
+	if err := Fig9GridD(context.Background(), &sb, Gaode, 400, cfg, []int{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "grid resolution sweep") {
+		t.Errorf("Fig9GridD output malformed:\n%s", sb.String())
+	}
+}
+
+func TestFig9ParamSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCount = 2
+	for _, kind := range []ParamKind{SweepAlpha, SweepBeta, SweepK, SweepM} {
+		var sb strings.Builder
+		vals := []float64{2, 3}
+		if kind == SweepAlpha {
+			vals = []float64{0.2, 0.8}
+		}
+		if err := Fig9Param(context.Background(), &sb, Gaode, 300, cfg, kind, vals); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !strings.Contains(sb.String(), kind.String()+" sweep") {
+			t.Errorf("%v output malformed:\n%s", kind, sb.String())
+		}
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCount = 2
+	var sb strings.Builder
+	if err := Fig10(context.Background(), &sb, cfg, []int{300}, []int{2, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SEQ") {
+		t.Errorf("Fig10 output malformed:\n%s", sb.String())
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCount = 2
+	var sb strings.Builder
+	if err := Fig11(context.Background(), &sb, cfg, []int{400}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CSEQ-FP") {
+		t.Errorf("Fig11 output malformed:\n%s", sb.String())
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryCount = 2
+	ctx := context.Background()
+	var sb strings.Builder
+	if err := AblationPartition(ctx, &sb, Gaode, 300, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationBounds(ctx, &sb, Gaode, 300, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationSampling(ctx, &sb, Gaode, 300, cfg, []int{1, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationCellNorm(ctx, &sb, Gaode, 300, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"A1", "A4", "A2", "A3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

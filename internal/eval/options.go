@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"spatialseq/internal/algo/hsp"
+	"spatialseq/internal/algo/lora"
+	"spatialseq/internal/core"
+)
+
+// Ablation option presets (kept here so the experiment drivers read
+// declaratively).
+
+func hspNoPartition() hsp.Options { return hsp.Options{DisablePartition: true} }
+
+func hspLooseBounds() hsp.Options { return hsp.Options{LooseBounds: true} }
+
+func loraRandom(seed int64) core.Options {
+	return core.Options{LORA: lora.Options{RandomSample: true, RandomSeed: seed}}
+}
+
+func loraCellNorm() core.Options {
+	return core.Options{LORA: lora.Options{PruneCellNorm: true}}
+}
+
+func hspSortedBreak() core.Options {
+	return core.Options{HSP: hsp.Options{SortedBreak: true}}
+}
+
+func loraSortedBreak() core.Options {
+	return core.Options{LORA: lora.Options{SortedBreak: true}}
+}

@@ -1,0 +1,158 @@
+// Package export serialises datasets and search results as GeoJSON
+// (RFC 7946), the lingua franca of web map UIs: the paper's Fig. 2 panels
+// ("example selection", "search results") render directly from these
+// FeatureCollections.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/query"
+)
+
+// featureCollection, feature and geometry model the subset of RFC 7946
+// this package emits.
+type featureCollection struct {
+	Type     string    `json:"type"`
+	Features []feature `json:"features"`
+}
+
+type feature struct {
+	Type       string         `json:"type"`
+	Geometry   geometry       `json:"geometry"`
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+type geometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+func pointGeom(x, y float64) geometry {
+	return geometry{Type: "Point", Coordinates: [2]float64{x, y}}
+}
+
+func lineGeom(coords [][2]float64) geometry {
+	return geometry{Type: "LineString", Coordinates: coords}
+}
+
+// Dataset writes ds as a FeatureCollection of Points. limit > 0 caps the
+// number of features (map UIs rarely want 10M markers at once).
+func Dataset(w io.Writer, ds *dataset.Dataset, limit int) error {
+	n := ds.Len()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	fc := featureCollection{Type: "FeatureCollection", Features: make([]feature, 0, n)}
+	for i := 0; i < n; i++ {
+		o := ds.Object(i)
+		fc.Features = append(fc.Features, feature{
+			Type:     "Feature",
+			Geometry: pointGeom(o.Loc.X, o.Loc.Y),
+			Properties: map[string]any{
+				"id":       o.ID,
+				"name":     o.Name,
+				"category": ds.CategoryName(o.Category),
+				"attrs":    o.Attr,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}
+
+// Results writes a search result as a FeatureCollection: every matched
+// object becomes a Point feature tagged with its rank and dimension, and
+// each tuple additionally gets a closed LineString tracing its shape (the
+// dotted co-location lines of the paper's Fig. 2). The example itself is
+// included with rank 0.
+func Results(w io.Writer, ds *dataset.Dataset, q *query.Query, res *core.Result) error {
+	fc := featureCollection{Type: "FeatureCollection"}
+
+	addTuple := func(rank int, sim float64, locs [][2]float64, props []map[string]any) {
+		for _, p := range props {
+			p["rank"] = rank
+			if rank > 0 {
+				p["sim"] = sim
+			}
+		}
+		for i, c := range locs {
+			fc.Features = append(fc.Features, feature{
+				Type:       "Feature",
+				Geometry:   pointGeom(c[0], c[1]),
+				Properties: props[i],
+			})
+		}
+		if len(locs) > 1 {
+			ring := append(append([][2]float64{}, locs...), locs[0])
+			lineProps := map[string]any{"rank": rank, "kind": "tuple-outline"}
+			if rank > 0 {
+				lineProps["sim"] = sim
+			}
+			fc.Features = append(fc.Features, feature{
+				Type:       "Feature",
+				Geometry:   lineGeom(ring),
+				Properties: lineProps,
+			})
+		}
+	}
+
+	// rank 0: the example
+	exLocs := make([][2]float64, q.Example.M())
+	exProps := make([]map[string]any, q.Example.M())
+	for d, loc := range q.Example.Locations {
+		exLocs[d] = [2]float64{loc.X, loc.Y}
+		exProps[d] = map[string]any{
+			"kind":     "example",
+			"dim":      d,
+			"category": ds.CategoryName(q.Example.Categories[d]),
+		}
+	}
+	addTuple(0, 0, exLocs, exProps)
+
+	for rank, t := range res.Tuples {
+		locs := make([][2]float64, len(t.Positions))
+		props := make([]map[string]any, len(t.Positions))
+		for d, pos := range t.Positions {
+			o := ds.Object(int(pos))
+			locs[d] = [2]float64{o.Loc.X, o.Loc.Y}
+			props[d] = map[string]any{
+				"kind":     "result",
+				"dim":      d,
+				"id":       o.ID,
+				"name":     o.Name,
+				"category": ds.CategoryName(o.Category),
+			}
+		}
+		addTuple(rank+1, t.Sim, locs, props)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}
+
+// Validate parses data as GeoJSON emitted by this package and returns the
+// feature count — a cheap structural self-check used by tests and tooling.
+func Validate(data []byte) (int, error) {
+	var fc featureCollection
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return 0, err
+	}
+	if fc.Type != "FeatureCollection" {
+		return 0, fmt.Errorf("export: unexpected root type %q", fc.Type)
+	}
+	for i, f := range fc.Features {
+		if f.Type != "Feature" {
+			return 0, fmt.Errorf("export: feature %d has type %q", i, f.Type)
+		}
+		switch f.Geometry.Type {
+		case "Point", "LineString":
+		default:
+			return 0, fmt.Errorf("export: feature %d has geometry %q", i, f.Geometry.Type)
+		}
+	}
+	return len(fc.Features), nil
+}

@@ -1,0 +1,95 @@
+package export
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/query"
+	"spatialseq/internal/testutil"
+)
+
+func TestDatasetExport(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	ds := testutil.RandDataset(rng, 30, 3, 4, 100)
+	var buf bytes.Buffer
+	if err := Dataset(&buf, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Errorf("feature count = %d, want 30", n)
+	}
+}
+
+func TestDatasetExportLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	ds := testutil.RandDataset(rng, 30, 3, 4, 100)
+	var buf bytes.Buffer
+	if err := Dataset(&buf, ds, 7); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("feature count = %d, want 7", n)
+	}
+}
+
+func TestResultsExport(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	ds := testutil.RandDataset(rng, 150, 3, 4, 100)
+	eng := core.NewEngine(ds)
+	q := testutil.RandQuery(rng, ds, 3, 25, query.Params{K: 3, Alpha: 0.5, Beta: 2, GridD: 4, Xi: 10})
+	res, err := eng.Search(context.Background(), q, core.HSP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) == 0 {
+		t.Skip("no results to export")
+	}
+	var buf bytes.Buffer
+	if err := Results(&buf, ds, q, res); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// example: m points + outline; per result: m points + outline
+	want := (q.Example.M() + 1) * (len(res.Tuples) + 1)
+	if n != want {
+		t.Errorf("feature count = %d, want %d", n, want)
+	}
+	// structural spot checks
+	var fc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	feats := fc["features"].([]any)
+	first := feats[0].(map[string]any)
+	props := first["properties"].(map[string]any)
+	if props["kind"] != "example" || props["rank"].(float64) != 0 {
+		t.Errorf("first feature should be the example: %v", props)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	if _, err := Validate([]byte("{")); err == nil {
+		t.Error("broken JSON should fail")
+	}
+	if _, err := Validate([]byte(`{"type":"Nope","features":[]}`)); err == nil {
+		t.Error("wrong root type should fail")
+	}
+	if _, err := Validate([]byte(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Polygon"}}]}`)); err == nil {
+		t.Error("unexpected geometry should fail")
+	}
+}

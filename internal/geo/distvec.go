@@ -1,0 +1,86 @@
+package geo
+
+import "math"
+
+// PairCount returns the number of pairwise distances in a size-m tuple,
+// m*(m-1)/2. It returns 0 for m < 2.
+func PairCount(m int) int {
+	if m < 2 {
+		return 0
+	}
+	return m * (m - 1) / 2
+}
+
+// PairIndex returns the position of the distance d(p_i, p_j), i < j, inside
+// a distance vector laid out in the prefix-friendly order used throughout
+// this library:
+//
+//	for j = 1..m-1: for i = 0..j-1: d(p_i, p_j)
+//
+// i.e. d01, d02, d12, d03, d13, d23, ... (0-based point indices). With this
+// ordering the first i selected points of a tuple determine exactly the
+// first i*(i-1)/2 entries of the vector, which is what the prefix-based
+// pruning bounds of DFS-Prune, HSP and LORA require. Cosine similarity is
+// invariant under any permutation applied consistently to both vectors, so
+// this is equivalent to the paper's row-major listing.
+func PairIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return j*(j-1)/2 + i
+}
+
+// DistVector writes the distance vector of the tuple pts into dst (resized
+// as needed) and returns it. Layout follows PairIndex.
+func DistVector(pts []Point, dst []float64) []float64 {
+	n := PairCount(len(pts))
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	idx := 0
+	for j := 1; j < len(pts); j++ {
+		for i := 0; i < j; i++ {
+			dst[idx] = pts[i].Dist(pts[j])
+			idx++
+		}
+	}
+	return dst
+}
+
+// Norm returns the 2-norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// TupleNorm returns ||V_t|| for the tuple pts without materialising the
+// distance vector.
+func TupleNorm(pts []Point) float64 {
+	var s float64
+	for j := 1; j < len(pts); j++ {
+		for i := 0; i < j; i++ {
+			d := pts[i].DistSq(pts[j])
+			s += d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// NormOK reports whether the beta-norm constraint 1/beta <= n/ref <= beta
+// holds for a tuple norm n against the example norm ref. beta must be >= 1;
+// an infinite beta accepts everything (the SEQ relaxation). A zero ref with
+// finite beta is only satisfied by a zero n.
+func NormOK(n, ref, beta float64) bool {
+	if math.IsInf(beta, 1) {
+		return true
+	}
+	if ref == 0 {
+		return n == 0
+	}
+	ratio := n / ref
+	return ratio >= 1/beta && ratio <= beta
+}

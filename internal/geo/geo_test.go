@@ -1,0 +1,351 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+		{Point{0, -3}, Point{0, 3}, 6},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Dist(%v,%v) = %g, want %g", c.p, c.q, got, c.want)
+		}
+		if got := c.p.DistSq(c.q); !almostEq(got, c.want*c.want, 1e-9) {
+			t.Errorf("DistSq(%v,%v) = %g, want %g", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Dist(b) == b.Dist(a) && a.Dist(b) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		b := Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		c := Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 4, 3}
+	if got := r.Width(); got != 4 {
+		t.Errorf("Width = %g, want 4", got)
+	}
+	if got := r.Height(); got != 3 {
+		t.Errorf("Height = %g, want 3", got)
+	}
+	if got := r.Diagonal(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Diagonal = %g, want 5", got)
+	}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %g, want 12", got)
+	}
+	if c := r.Center(); c != (Point{2, 1.5}) {
+		t.Errorf("Center = %v", c)
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{4, 3}) {
+		t.Error("Rect must contain its closed corners")
+	}
+	if r.Contains(Point{4.001, 3}) {
+		t.Error("Rect must not contain outside points")
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	if e.Width() != 0 || e.Height() != 0 || e.Diagonal() != 0 {
+		t.Error("empty rect extents should be zero")
+	}
+	if e.Contains(Point{0, 0}) {
+		t.Error("empty rect contains nothing")
+	}
+	got := e.ExtendPoint(Point{2, 5})
+	want := Rect{2, 5, 2, 5}
+	if got != want {
+		t.Errorf("ExtendPoint = %v, want %v", got, want)
+	}
+	if u := e.Union(Rect{0, 0, 1, 1}); u != (Rect{0, 0, 1, 1}) {
+		t.Errorf("Union with empty = %v", u)
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	pts := []Point{{1, 2}, {-1, 5}, {3, 0}}
+	r := RectFromPoints(pts)
+	want := Rect{-1, 0, 3, 5}
+	if r != want {
+		t.Errorf("RectFromPoints = %v, want %v", r, want)
+	}
+	if !RectFromPoints(nil).IsEmpty() {
+		t.Error("RectFromPoints(nil) should be empty")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{1, 1, 3, 3}, true},
+		{Rect{2, 2, 3, 3}, true}, // corner touch, closed rects
+		{Rect{2.1, 2.1, 3, 3}, false},
+		{Rect{-1, -1, -0.1, -0.1}, false},
+		{Rect{0.5, 0.5, 1.5, 1.5}, true}, // containment
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects not symmetric for %v", c.b)
+		}
+	}
+	if a.Intersects(EmptyRect()) || EmptyRect().Intersects(a) {
+		t.Error("nothing intersects the empty rect")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 3, 3}
+	if got := a.Intersect(b); got != (Rect{1, 1, 2, 2}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); got != (Rect{0, 0, 3, 3}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(Rect{5, 5, 6, 6}); !got.IsEmpty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+}
+
+func TestInflate(t *testing.T) {
+	r := Rect{1, 1, 2, 2}
+	if got := r.Inflate(0.5); got != (Rect{0.5, 0.5, 2.5, 2.5}) {
+		t.Errorf("Inflate(0.5) = %v", got)
+	}
+	if got := r.Inflate(-1); !got.IsEmpty() {
+		t.Errorf("over-shrunk rect should be empty, got %v", got)
+	}
+	if got := EmptyRect().Inflate(3); !got.IsEmpty() {
+		t.Errorf("inflating empty stays empty, got %v", got)
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{4, 0, 5, 1} // 3 apart horizontally
+	if got := a.MinDist(b); !almostEq(got, 3, 1e-12) {
+		t.Errorf("MinDist = %g, want 3", got)
+	}
+	maxWant := math.Sqrt(25 + 1) // corner (0,0)..(5,1) or (0,1)..(5,0)
+	if got := a.MaxDist(b); !almostEq(got, maxWant, 1e-12) {
+		t.Errorf("MaxDist = %g, want %g", got, maxWant)
+	}
+	if got := a.MinDist(a); got != 0 {
+		t.Errorf("MinDist with self = %g", got)
+	}
+	diag := Rect{3, 4, 5, 6}
+	if got := a.MinDist(diag); !almostEq(got, math.Sqrt(4+9), 1e-12) {
+		t.Errorf("diagonal MinDist = %g", got)
+	}
+}
+
+func TestMinDistPoint(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	if got := r.MinDistPoint(Point{1, 1}); got != 0 {
+		t.Errorf("inside point MinDist = %g", got)
+	}
+	if got := r.MinDistPoint(Point{5, 2}); !almostEq(got, 3, 1e-12) {
+		t.Errorf("MinDistPoint = %g, want 3", got)
+	}
+	if got := r.MinDistPoint(Point{5, 6}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("MinDistPoint = %g, want 5", got)
+	}
+}
+
+func TestMinMaxDistProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a := randRect(rng)
+		b := randRect(rng)
+		// sample points inside each rect; distances must respect bounds
+		lo, hi := a.MinDist(b), a.MaxDist(b)
+		for s := 0; s < 20; s++ {
+			p := Point{a.MinX + rng.Float64()*a.Width(), a.MinY + rng.Float64()*a.Height()}
+			q := Point{b.MinX + rng.Float64()*b.Width(), b.MinY + rng.Float64()*b.Height()}
+			d := p.Dist(q)
+			if d < lo-1e-9 || d > hi+1e-9 {
+				t.Fatalf("distance %g outside [%g,%g] for rects %v %v", d, lo, hi, a, b)
+			}
+		}
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	x1, x2 := rng.Float64()*10, rng.Float64()*10
+	y1, y2 := rng.Float64()*10, rng.Float64()*10
+	return Rect{math.Min(x1, x2), math.Min(y1, y2), math.Max(x1, x2), math.Max(y1, y2)}
+}
+
+func TestPairIndexOrdering(t *testing.T) {
+	// Prefix-friendliness: for tuple size m, the pairs among the first i
+	// points must occupy exactly the first i*(i-1)/2 slots.
+	for m := 2; m <= 7; m++ {
+		for i := 2; i <= m; i++ {
+			limit := PairCount(i)
+			for a := 0; a < i; a++ {
+				for b := a + 1; b < i; b++ {
+					if idx := PairIndex(a, b); idx >= limit {
+						t.Fatalf("PairIndex(%d,%d) = %d, not within prefix of %d points (limit %d)", a, b, idx, i, limit)
+					}
+				}
+			}
+		}
+	}
+	// Bijectivity over the full range.
+	m := 7
+	seen := make(map[int]bool)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			idx := PairIndex(a, b)
+			if seen[idx] {
+				t.Fatalf("PairIndex collision at %d", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != PairCount(m) {
+		t.Fatalf("PairIndex covered %d slots, want %d", len(seen), PairCount(m))
+	}
+	if PairIndex(3, 1) != PairIndex(1, 3) {
+		t.Error("PairIndex must be symmetric in its arguments")
+	}
+}
+
+func TestPairCount(t *testing.T) {
+	want := map[int]int{0: 0, 1: 0, 2: 1, 3: 3, 4: 6, 5: 10, 6: 15}
+	for m, w := range want {
+		if got := PairCount(m); got != w {
+			t.Errorf("PairCount(%d) = %d, want %d", m, got, w)
+		}
+	}
+}
+
+func TestDistVector(t *testing.T) {
+	pts := []Point{{0, 0}, {3, 4}, {0, 8}}
+	v := DistVector(pts, nil)
+	if len(v) != 3 {
+		t.Fatalf("len = %d", len(v))
+	}
+	// order: d01, d02, d12
+	if !almostEq(v[0], 5, 1e-12) || !almostEq(v[1], 8, 1e-12) || !almostEq(v[2], 5, 1e-12) {
+		t.Errorf("DistVector = %v", v)
+	}
+	// reuse path
+	buf := make([]float64, 0, 8)
+	v2 := DistVector(pts, buf)
+	for i := range v {
+		if v[i] != v2[i] {
+			t.Fatal("reused-buffer DistVector disagrees")
+		}
+	}
+	if len(DistVector(pts[:1], nil)) != 0 {
+		t.Error("single point has empty distance vector")
+	}
+}
+
+func TestDistVectorMatchesPairIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(5)
+		pts := make([]Point, m)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		v := DistVector(pts, nil)
+		for a := 0; a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				if got := v[PairIndex(a, b)]; !almostEq(got, pts[a].Dist(pts[b]), 1e-9) {
+					t.Fatalf("v[PairIndex(%d,%d)] = %g, want %g", a, b, got, pts[a].Dist(pts[b]))
+				}
+			}
+		}
+	}
+}
+
+func TestTupleNormMatchesDistVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		m := 2 + rng.Intn(5)
+		pts := make([]Point, m)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		if got, want := TupleNorm(pts), Norm(DistVector(pts, nil)); !almostEq(got, want, 1e-9) {
+			t.Fatalf("TupleNorm = %g, Norm(DistVector) = %g", got, want)
+		}
+	}
+}
+
+func TestNormOK(t *testing.T) {
+	cases := []struct {
+		n, ref, beta float64
+		want         bool
+	}{
+		{1, 1, 1.5, true},
+		{1.5, 1, 1.5, true},
+		{1.51, 1, 1.5, false},
+		{1 / 1.5, 1, 1.5, true},
+		{0.5, 1, 1.5, false},
+		{100, 1, math.Inf(1), true},
+		{0, 0, 1.5, true},
+		{0.1, 0, 1.5, false},
+		{5, 1, 5, true},
+	}
+	for _, c := range cases {
+		if got := NormOK(c.n, c.ref, c.beta); got != c.want {
+			t.Errorf("NormOK(%g,%g,%g) = %v, want %v", c.n, c.ref, c.beta, got, c.want)
+		}
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Errorf("Norm(nil) = %g", got)
+	}
+}

@@ -1,0 +1,43 @@
+// Package geo provides the planar geometry primitives used throughout the
+// library: points, axis-aligned rectangles, and the pairwise distance
+// vectors that the SEQ/CSEQ similarity model is built on.
+//
+// All coordinates are float64 in an arbitrary Euclidean unit (the synthetic
+// generators use kilometres). The package is allocation-conscious: hot-path
+// helpers accept destination slices so callers can reuse buffers.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It avoids
+// the square root on paths that only compare distances.
+func (p Point) DistSq(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns the translation of p by (dx, dy).
+func (p Point) Add(dx, dy float64) Point {
+	return Point{p.X + dx, p.Y + dy}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y)
+}

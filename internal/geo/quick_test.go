@@ -1,0 +1,112 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// boundedCoord maps arbitrary quick-generated floats into a finite
+// coordinate range so the geometric identities are not drowned by
+// overflow artifacts.
+func boundedCoord(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestQuickRectUnionContainsBoth(t *testing.T) {
+	f := func(raw [8]float64) bool {
+		a := Rect{
+			MinX: math.Min(boundedCoord(raw[0]), boundedCoord(raw[1])),
+			MinY: math.Min(boundedCoord(raw[2]), boundedCoord(raw[3])),
+			MaxX: math.Max(boundedCoord(raw[0]), boundedCoord(raw[1])),
+			MaxY: math.Max(boundedCoord(raw[2]), boundedCoord(raw[3])),
+		}
+		b := Rect{
+			MinX: math.Min(boundedCoord(raw[4]), boundedCoord(raw[5])),
+			MinY: math.Min(boundedCoord(raw[6]), boundedCoord(raw[7])),
+			MaxX: math.Max(boundedCoord(raw[4]), boundedCoord(raw[5])),
+			MaxY: math.Max(boundedCoord(raw[6]), boundedCoord(raw[7])),
+		}
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectInsideBoth(t *testing.T) {
+	f := func(raw [8]float64) bool {
+		a := Rect{
+			MinX: math.Min(boundedCoord(raw[0]), boundedCoord(raw[1])),
+			MinY: math.Min(boundedCoord(raw[2]), boundedCoord(raw[3])),
+			MaxX: math.Max(boundedCoord(raw[0]), boundedCoord(raw[1])),
+			MaxY: math.Max(boundedCoord(raw[2]), boundedCoord(raw[3])),
+		}
+		b := Rect{
+			MinX: math.Min(boundedCoord(raw[4]), boundedCoord(raw[5])),
+			MinY: math.Min(boundedCoord(raw[6]), boundedCoord(raw[7])),
+			MaxX: math.Max(boundedCoord(raw[4]), boundedCoord(raw[5])),
+			MaxY: math.Max(boundedCoord(raw[6]), boundedCoord(raw[7])),
+		}
+		x := a.Intersect(b)
+		if x.IsEmpty() {
+			return true
+		}
+		return a.ContainsRect(x) && b.ContainsRect(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInflateMonotone(t *testing.T) {
+	f := func(raw [5]float64) bool {
+		r := Rect{
+			MinX: math.Min(boundedCoord(raw[0]), boundedCoord(raw[1])),
+			MinY: math.Min(boundedCoord(raw[2]), boundedCoord(raw[3])),
+			MaxX: math.Max(boundedCoord(raw[0]), boundedCoord(raw[1])),
+			MaxY: math.Max(boundedCoord(raw[2]), boundedCoord(raw[3])),
+		}
+		w := math.Abs(boundedCoord(raw[4]))
+		return r.Inflate(w).ContainsRect(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormOKSymmetricInBeta(t *testing.T) {
+	// 1/beta <= n/ref <= beta is symmetric under swapping n and ref.
+	f := func(rawN, rawRef, rawBeta float64) bool {
+		n := math.Abs(boundedCoord(rawN))
+		ref := math.Abs(boundedCoord(rawRef))
+		beta := 1 + math.Abs(boundedCoord(rawBeta))/1e5
+		return NormOK(n, ref, beta) == NormOK(ref, n, beta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPairIndexInverse(t *testing.T) {
+	f := func(rawI, rawJ uint8) bool {
+		i, j := int(rawI%32), int(rawJ%32)
+		if i == j {
+			return true
+		}
+		idx := PairIndex(i, j)
+		lo, hi := i, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// the index must sit inside the block belonging to hi
+		return idx >= hi*(hi-1)/2 && idx < hi*(hi+1)/2 && idx-hi*(hi-1)/2 == lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

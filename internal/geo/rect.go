@@ -1,0 +1,189 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is a closed axis-aligned rectangle [MinX, MaxX] x [MinY, MaxY].
+// The zero Rect is the degenerate rectangle at the origin; use EmptyRect
+// to start an accumulation with Extend.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect returns the identity element for Extend/Union: a rectangle that
+// contains nothing and extends to the first point or rect merged into it.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// RectFromPoints returns the minimal bounding rectangle of pts. It returns
+// EmptyRect when pts is empty.
+func RectFromPoints(pts []Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// IsEmpty reports whether the rectangle contains no points (inverted bounds).
+func (r Rect) IsEmpty() bool {
+	return r.MinX > r.MaxX || r.MinY > r.MaxY
+}
+
+// Width returns the horizontal extent, 0 for empty rectangles.
+func (r Rect) Width() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.MaxX - r.MinX
+}
+
+// Height returns the vertical extent, 0 for empty rectangles.
+func (r Rect) Height() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.MaxY - r.MinY
+}
+
+// Diagonal returns the length of the rectangle's diagonal, which the
+// partitioner compares against the core-subspace threshold beta*||V_t*||.
+func (r Rect) Diagonal() float64 {
+	w, h := r.Width(), r.Height()
+	return math.Sqrt(w*w + h*h)
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 {
+	return r.Width() * r.Height()
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether p lies inside the closed rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r. An empty s is
+// contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether the closed rectangles share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Intersect returns the common region of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+	if out.IsEmpty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// Union returns the minimal rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// ExtendPoint returns the minimal rectangle covering r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, p.X),
+		MinY: math.Min(r.MinY, p.Y),
+		MaxX: math.Max(r.MaxX, p.X),
+		MaxY: math.Max(r.MaxY, p.Y),
+	}
+}
+
+// Inflate grows the rectangle by w on every side. This is how an auxiliary
+// band of width w is attached to a core subspace. Negative w shrinks; a
+// rectangle shrunk past its center becomes empty.
+func (r Rect) Inflate(w float64) Rect {
+	if r.IsEmpty() {
+		return r
+	}
+	out := Rect{r.MinX - w, r.MinY - w, r.MaxX + w, r.MaxY + w}
+	if out.IsEmpty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// MinDist returns the minimal Euclidean distance between any point of r and
+// any point of s; 0 when they intersect. Used by LORA's optional cell-level
+// norm feasibility filter.
+func (r Rect) MinDist(s Rect) float64 {
+	dx := axisGap(r.MinX, r.MaxX, s.MinX, s.MaxX)
+	dy := axisGap(r.MinY, r.MaxY, s.MinY, s.MaxY)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MaxDist returns the maximal Euclidean distance between any point of r and
+// any point of s (the diameter of the pair).
+func (r Rect) MaxDist(s Rect) float64 {
+	dx := math.Max(math.Abs(s.MaxX-r.MinX), math.Abs(r.MaxX-s.MinX))
+	dy := math.Max(math.Abs(s.MaxY-r.MinY), math.Abs(r.MaxY-s.MinY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MinDistPoint returns the minimal distance from p to the rectangle
+// (0 when p is inside).
+func (r Rect) MinDistPoint(p Point) float64 {
+	dx := axisGap(r.MinX, r.MaxX, p.X, p.X)
+	dy := axisGap(r.MinY, r.MaxY, p.Y, p.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func axisGap(aMin, aMax, bMin, bMax float64) float64 {
+	if aMax < bMin {
+		return bMin - aMax
+	}
+	if bMax < aMin {
+		return aMin - bMax
+	}
+	return 0
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "Rect(empty)"
+	}
+	return fmt.Sprintf("Rect[%.6g,%.6g → %.6g,%.6g]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}

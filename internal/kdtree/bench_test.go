@@ -1,0 +1,73 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/geo"
+	"spatialseq/internal/rtree"
+)
+
+func benchPoints(n int) []geo.Point {
+	rng := rand.New(rand.NewSource(1))
+	return randPoints(rng, n, 1000)
+}
+
+// The kd-tree vs R-tree comparison under the partitioner's workload
+// profile (many mid-size rectangle queries).
+
+func BenchmarkBuild100k(b *testing.B) {
+	pts := benchPoints(100000)
+	b.Run("kdtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			New(pts, nil)
+		}
+	})
+	b.Run("rtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtree.New(pts, nil)
+		}
+	})
+}
+
+func BenchmarkSearch100k(b *testing.B) {
+	pts := benchPoints(100000)
+	kd := New(pts, nil)
+	rt := rtree.New(pts, nil)
+	mkRect := func(rng *rand.Rand) geo.Rect {
+		x, y := rng.Float64()*950, rng.Float64()*950
+		return geo.Rect{MinX: x, MinY: y, MaxX: x + 50, MaxY: y + 50}
+	}
+	b.Run("kdtree", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		var dst []int32
+		for i := 0; i < b.N; i++ {
+			dst = kd.Search(mkRect(rng), dst[:0])
+		}
+	})
+	b.Run("rtree", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		var dst []int32
+		for i := 0; i < b.N; i++ {
+			dst = rt.Search(mkRect(rng), dst[:0])
+		}
+	})
+}
+
+func BenchmarkNearest100k(b *testing.B) {
+	pts := benchPoints(100000)
+	kd := New(pts, nil)
+	rt := rtree.New(pts, nil)
+	b.Run("kdtree", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < b.N; i++ {
+			kd.Nearest(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, 10, nil)
+		}
+	})
+	b.Run("rtree", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < b.N; i++ {
+			rt.Nearest(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, 10, nil)
+		}
+	})
+}

@@ -1,0 +1,257 @@
+// Package kdtree provides a static, median-balanced k-d tree over 2-D
+// points with rectangle range queries and k-nearest-neighbor search.
+//
+// It is the alternative point index to the STR R-tree (internal/rtree):
+// the engine defaults to the R-tree, but the k-d tree is plugged into the
+// same call sites by benchmarks comparing index behaviour under the
+// partitioner's workload (many overlapping rectangle queries), and offers
+// better worst-case guarantees for skewed point sets.
+//
+// The tree is immutable after New and safe for concurrent readers.
+package kdtree
+
+import (
+	"sort"
+
+	"spatialseq/internal/geo"
+)
+
+// Tree is a static k-d tree. Each point carries an int32 payload.
+type Tree struct {
+	pts    []geo.Point // permuted into tree order
+	refs   []int32     // payloads, parallel to pts
+	bounds geo.Rect
+}
+
+// New bulk-builds a balanced tree. pts[i] carries payload refs[i]; refs
+// may be nil, in which case the payload is the original position i.
+func New(pts []geo.Point, refs []int32) *Tree {
+	t := &Tree{bounds: geo.EmptyRect()}
+	if len(pts) == 0 {
+		return t
+	}
+	t.pts = make([]geo.Point, len(pts))
+	copy(t.pts, pts)
+	t.refs = make([]int32, len(pts))
+	if refs != nil {
+		copy(t.refs, refs)
+	} else {
+		for i := range t.refs {
+			t.refs[i] = int32(i)
+		}
+	}
+	for _, p := range pts {
+		t.bounds = t.bounds.ExtendPoint(p)
+	}
+	t.build(0, len(t.pts), 0)
+	return t
+}
+
+// build arranges pts[lo:hi] into k-d order: the median (by the level's
+// axis) sits at mid, smaller coordinates left, larger right.
+func (t *Tree) build(lo, hi, axis int) {
+	if hi-lo <= 1 {
+		return
+	}
+	mid := (lo + hi) / 2
+	t.selectMedian(lo, hi, mid, axis)
+	t.build(lo, mid, 1-axis)
+	t.build(mid+1, hi, 1-axis)
+}
+
+// selectMedian partially sorts pts[lo:hi] so the element at mid is the
+// axis-median (nth_element). Payloads move with their points.
+func (t *Tree) selectMedian(lo, hi, mid, axis int) {
+	for hi-lo > 1 {
+		p := t.coord(lo+(hi-lo)/2, axis) // middle-element pivot
+		i, j := lo, hi-1
+		for i <= j {
+			for t.coord(i, axis) < p {
+				i++
+			}
+			for t.coord(j, axis) > p {
+				j--
+			}
+			if i <= j {
+				t.swap(i, j)
+				i++
+				j--
+			}
+		}
+		switch {
+		case mid <= j:
+			hi = j + 1
+		case mid >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+func (t *Tree) coord(i, axis int) float64 {
+	if axis == 0 {
+		return t.pts[i].X
+	}
+	return t.pts[i].Y
+}
+
+func (t *Tree) swap(i, j int) {
+	t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+	t.refs[i], t.refs[j] = t.refs[j], t.refs[i]
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Bounds returns the bounding rectangle of all points.
+func (t *Tree) Bounds() geo.Rect { return t.bounds }
+
+// Search appends the payloads of all points inside rect (closed bounds)
+// to dst and returns dst.
+func (t *Tree) Search(rect geo.Rect, dst []int32) []int32 {
+	if len(t.pts) == 0 || rect.IsEmpty() {
+		return dst
+	}
+	return t.search(0, len(t.pts), 0, rect, dst)
+}
+
+func (t *Tree) search(lo, hi, axis int, rect geo.Rect, dst []int32) []int32 {
+	if hi <= lo {
+		return dst
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	if rect.Contains(p) {
+		dst = append(dst, t.refs[mid])
+	}
+	var c, min, max float64
+	if axis == 0 {
+		c, min, max = p.X, rect.MinX, rect.MaxX
+	} else {
+		c, min, max = p.Y, rect.MinY, rect.MaxY
+	}
+	if min <= c {
+		dst = t.search(lo, mid, 1-axis, rect, dst)
+	}
+	if max >= c {
+		dst = t.search(mid+1, hi, 1-axis, rect, dst)
+	}
+	return dst
+}
+
+// Count returns the number of points inside rect.
+func (t *Tree) Count(rect geo.Rect) int {
+	return len(t.Search(rect, nil)) // small trees; exactness over speed
+}
+
+// Neighbor is one k-nearest-neighbor result.
+type Neighbor struct {
+	Ref  int32
+	Dist float64
+}
+
+// Nearest returns the k points closest to q in ascending (dist, ref)
+// order. filter, when non-nil, rejects candidates by payload.
+func (t *Tree) Nearest(q geo.Point, k int, filter func(ref int32) bool) []Neighbor {
+	if len(t.pts) == 0 || k <= 0 {
+		return nil
+	}
+	s := &knnState{q: q, k: k, filter: filter}
+	s.visit(t, 0, len(t.pts), 0)
+	sort.Slice(s.best, func(i, j int) bool {
+		if s.best[i].Dist != s.best[j].Dist {
+			return s.best[i].Dist < s.best[j].Dist
+		}
+		return s.best[i].Ref < s.best[j].Ref
+	})
+	return s.best
+}
+
+type knnState struct {
+	q      geo.Point
+	k      int
+	filter func(int32) bool
+	best   []Neighbor // unordered; worst tracked separately
+	worst  float64
+}
+
+func (s *knnState) visit(t *Tree, lo, hi, axis int) {
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	if s.filter == nil || s.filter(t.refs[mid]) {
+		s.offer(Neighbor{Ref: t.refs[mid], Dist: p.Dist(s.q)})
+	}
+	var delta float64
+	if axis == 0 {
+		delta = s.q.X - p.X
+	} else {
+		delta = s.q.Y - p.Y
+	}
+	near, far := [2]int{lo, mid}, [2]int{mid + 1, hi}
+	if delta > 0 {
+		near, far = far, near
+	}
+	s.visit(t, near[0], near[1], 1-axis)
+	// the far side can only matter if the splitting plane is within the
+	// current k-th best distance (or we do not have k yet); <= keeps
+	// equal-distance ties reachable for deterministic resolution
+	if len(s.best) < s.k || abs(delta) <= s.worst {
+		s.visit(t, far[0], far[1], 1-axis)
+	}
+}
+
+func (s *knnState) offer(nb Neighbor) {
+	if len(s.best) < s.k {
+		s.best = append(s.best, nb)
+		if len(s.best) == s.k {
+			s.recomputeWorst()
+		}
+		return
+	}
+	if nb.Dist > s.worst {
+		return
+	}
+	if nb.Dist == s.worst {
+		// deterministic tie handling: prefer the smaller ref
+		wi := s.worstIndex()
+		if nb.Ref >= s.best[wi].Ref {
+			return
+		}
+		s.best[wi] = nb
+		s.recomputeWorst()
+		return
+	}
+	s.best[s.worstIndex()] = nb
+	s.recomputeWorst()
+}
+
+func (s *knnState) worstIndex() int {
+	wi := 0
+	for i, nb := range s.best {
+		w := s.best[wi]
+		if nb.Dist > w.Dist || (nb.Dist == w.Dist && nb.Ref > w.Ref) {
+			wi = i
+		}
+	}
+	return wi
+}
+
+func (s *knnState) recomputeWorst() {
+	s.worst = 0
+	for _, nb := range s.best {
+		if nb.Dist > s.worst {
+			s.worst = nb.Dist
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

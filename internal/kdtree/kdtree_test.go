@@ -1,0 +1,192 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialseq/internal/geo"
+	"spatialseq/internal/rtree"
+)
+
+func randPoints(rng *rand.Rand, n int, extent float64) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	}
+	return pts
+}
+
+func sorted(xs []int32) []int32 {
+	out := make([]int32, len(xs))
+	copy(out, xs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil, nil)
+	if tr.Len() != 0 || !tr.Bounds().IsEmpty() {
+		t.Error("empty tree shape wrong")
+	}
+	if got := tr.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, nil); len(got) != 0 {
+		t.Errorf("Search = %v", got)
+	}
+	if got := tr.Nearest(geo.Point{}, 3, nil); got != nil {
+		t.Errorf("Nearest = %v", got)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		pts := randPoints(rng, n, 100)
+		tr := New(pts, nil)
+		for trial := 0; trial < 25; trial++ {
+			x1, x2 := rng.Float64()*100, rng.Float64()*100
+			y1, y2 := rng.Float64()*100, rng.Float64()*100
+			r := geo.Rect{MinX: min(x1, x2), MinY: min(y1, y2), MaxX: max(x1, x2), MaxY: max(y1, y2)}
+			var want []int32
+			for i, p := range pts {
+				if r.Contains(p) {
+					want = append(want, int32(i))
+				}
+			}
+			got := sorted(tr.Search(r, nil))
+			if !equalIDs(got, sorted(want)) {
+				t.Fatalf("n=%d: Search(%v) got %d, want %d", n, r, len(got), len(want))
+			}
+			if c := tr.Count(r); c != len(want) {
+				t.Fatalf("Count = %d, want %d", c, len(want))
+			}
+		}
+	}
+}
+
+func TestSearchAgreesWithRTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	pts := randPoints(rng, 3000, 200)
+	kd := New(pts, nil)
+	rt := rtree.New(pts, nil)
+	for trial := 0; trial < 40; trial++ {
+		x, y := rng.Float64()*180, rng.Float64()*180
+		r := geo.Rect{MinX: x, MinY: y, MaxX: x + 20, MaxY: y + 20}
+		a := sorted(kd.Search(r, nil))
+		b := sorted(rt.Search(r, nil))
+		if !equalIDs(a, b) {
+			t.Fatalf("kd-tree and R-tree disagree on %v: %d vs %d", r, len(a), len(b))
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 3, 17, 250, 1500} {
+		pts := randPoints(rng, n, 100)
+		tr := New(pts, nil)
+		for trial := 0; trial < 20; trial++ {
+			q := geo.Point{X: rng.Float64() * 120, Y: rng.Float64() * 120}
+			k := 1 + rng.Intn(8)
+			got := tr.Nearest(q, k, nil)
+			var all []Neighbor
+			for i, p := range pts {
+				all = append(all, Neighbor{Ref: int32(i), Dist: p.Dist(q)})
+			}
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].Dist != all[j].Dist {
+					return all[i].Dist < all[j].Dist
+				}
+				return all[i].Ref < all[j].Ref
+			})
+			if len(all) > k {
+				all = all[:k]
+			}
+			if len(got) != len(all) {
+				t.Fatalf("n=%d k=%d: got %d, want %d", n, k, len(got), len(all))
+			}
+			for i := range got {
+				if got[i].Ref != all[i].Ref {
+					t.Fatalf("n=%d k=%d rank %d: got %+v want %+v", n, k, i, got[i], all[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNearestFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := randPoints(rng, 400, 50)
+	tr := New(pts, nil)
+	odd := func(ref int32) bool { return ref%2 == 1 }
+	got := tr.Nearest(geo.Point{X: 25, Y: 25}, 5, odd)
+	if len(got) != 5 {
+		t.Fatalf("got %d", len(got))
+	}
+	for _, nb := range got {
+		if nb.Ref%2 != 1 {
+			t.Errorf("filter violated: %d", nb.Ref)
+		}
+	}
+}
+
+func TestCustomRefs(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	tr := New(pts, []int32{10, 20})
+	got := sorted(tr.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}, nil))
+	if !equalIDs(got, []int32{10, 20}) {
+		t.Errorf("Search = %v", got)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([]geo.Point, 40)
+	for i := range pts {
+		pts[i] = geo.Point{X: 7, Y: 7}
+	}
+	tr := New(pts, nil)
+	if got := tr.Search(geo.Rect{MinX: 7, MinY: 7, MaxX: 7, MaxY: 7}, nil); len(got) != 40 {
+		t.Errorf("duplicate search = %d", len(got))
+	}
+	nb := tr.Nearest(geo.Point{X: 7, Y: 7}, 3, nil)
+	if len(nb) != 3 || nb[0].Dist != 0 {
+		t.Errorf("duplicate nearest = %v", nb)
+	}
+}
+
+func TestNewDoesNotMutateInput(t *testing.T) {
+	pts := []geo.Point{{X: 3, Y: 1}, {X: 1, Y: 2}, {X: 2, Y: 0}}
+	orig := make([]geo.Point, len(pts))
+	copy(orig, pts)
+	New(pts, nil)
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatal("New must not reorder the caller's slice")
+		}
+	}
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

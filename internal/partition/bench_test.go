@@ -1,0 +1,38 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPartition measures the per-query cost of the hierarchical
+// split, which every HSP/LORA query pays.
+func BenchmarkPartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{10000, 100000} {
+		pts := randPoints(rng, n, 400)
+		ix := NewIndex(pts)
+		for _, radius := range []float64{10, 40} {
+			b.Run(benchName(n, radius), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ix.Partition(radius); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func benchName(n int, radius float64) string {
+	switch {
+	case n == 10000 && radius == 10:
+		return "n=10k/r=10"
+	case n == 10000:
+		return "n=10k/r=40"
+	case radius == 10:
+		return "n=100k/r=10"
+	default:
+		return "n=100k/r=40"
+	}
+}

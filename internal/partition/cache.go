@@ -1,0 +1,95 @@
+package partition
+
+import (
+	"math"
+	"sync"
+)
+
+// Partition results are immutable and depend only on the radius, so
+// queries with similar radii can share one. PartitionBucketed rounds the
+// requested radius UP to the next bucket boundary (powers of
+// bucketFactor) and caches the partition per bucket. A larger radius is
+// always safe: core subspaces stop splitting earlier (still below the
+// widened diagonal bound) and auxiliary bands grow wider, so the
+// containment guarantee — every candidate tuple lies inside the
+// ac-subspace owning its first point — continues to hold. Exact
+// algorithms stay exact; LORA's cells become up to bucketFactor coarser,
+// which its accuracy already has to tolerate across the D sweep.
+
+// bucketFactor is the radius quantization step (each bucket covers
+// [r, r*1.25)).
+const bucketFactor = 1.25
+
+// cacheCap bounds the per-index partition cache.
+const cacheCap = 16
+
+type partitionCache struct {
+	mu      sync.Mutex
+	entries map[float64]*Partition
+	order   []float64 // LRU, oldest first
+}
+
+// PartitionBucketed returns a (possibly shared) partition whose radius is
+// the requested radius rounded up to a bucket boundary. Rules for radius
+// validity match Partition.
+func (ix *Index) PartitionBucketed(radius float64) (*Partition, error) {
+	if math.IsInf(radius, 1) || math.IsNaN(radius) || radius <= 0 {
+		// +Inf is itself a bucket; invalid values fall through to
+		// Partition for uniform error handling.
+		return ix.cachedPartition(radius)
+	}
+	bucket := math.Pow(bucketFactor, math.Ceil(math.Log(radius)/math.Log(bucketFactor)))
+	if bucket < radius { // floating-point guard
+		bucket *= bucketFactor
+	}
+	return ix.cachedPartition(bucket)
+}
+
+func (ix *Index) cachedPartition(radius float64) (*Partition, error) {
+	ix.cache.mu.Lock()
+	if ix.cache.entries == nil {
+		ix.cache.entries = make(map[float64]*Partition)
+	}
+	if p, ok := ix.cache.entries[radius]; ok {
+		ix.cache.touch(radius)
+		ix.cache.mu.Unlock()
+		return p, nil
+	}
+	ix.cache.mu.Unlock()
+
+	p, err := ix.Partition(radius) // build outside the lock
+	if err != nil {
+		return nil, err
+	}
+
+	ix.cache.mu.Lock()
+	defer ix.cache.mu.Unlock()
+	if existing, ok := ix.cache.entries[radius]; ok {
+		return existing, nil // another goroutine won the race
+	}
+	if len(ix.cache.order) >= cacheCap {
+		oldest := ix.cache.order[0]
+		ix.cache.order = ix.cache.order[1:]
+		delete(ix.cache.entries, oldest)
+	}
+	ix.cache.entries[radius] = p
+	ix.cache.order = append(ix.cache.order, radius)
+	return p, nil
+}
+
+func (c *partitionCache) touch(radius float64) {
+	for i, r := range c.order {
+		if r == radius {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = radius
+			return
+		}
+	}
+}
+
+// CacheLen reports the number of cached partitions (for tests).
+func (ix *Index) CacheLen() int {
+	ix.cache.mu.Lock()
+	defer ix.cache.mu.Unlock()
+	return len(ix.cache.entries)
+}

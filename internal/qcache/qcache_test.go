@@ -1,0 +1,184 @@
+package qcache
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+	"spatialseq/internal/testutil"
+)
+
+func setup(t *testing.T) (*core.Engine, *query.Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(141))
+	ds := testutil.RandDataset(rng, 200, 3, 4, 100)
+	q := testutil.RandQuery(rng, ds, 3, 25, query.Params{K: 3, Alpha: 0.5, Beta: 1.5, GridD: 4, Xi: 10})
+	return core.NewEngine(ds), q
+}
+
+func TestKeyStability(t *testing.T) {
+	_, q := setup(t)
+	k1, ok1 := Key(q, core.HSP)
+	k2, ok2 := Key(q, core.HSP)
+	if !ok1 || !ok2 || k1 != k2 {
+		t.Fatal("identical queries must share a key")
+	}
+	if k3, _ := Key(q, core.LORA); k3 == k1 {
+		t.Error("different algorithms must not share a key")
+	}
+	q2 := *q
+	q2.Params.K = 7
+	if k4, _ := Key(&q2, core.HSP); k4 == k1 {
+		t.Error("different parameters must not share a key")
+	}
+	q3 := *q
+	q3.Example.SkipPairs = [][2]int{{0, 1}}
+	if k5, _ := Key(&q3, core.HSP); k5 == k1 {
+		t.Error("skip pairs must change the key")
+	}
+	// skip-pair order must not matter
+	q4 := *q
+	q4.Example.SkipPairs = [][2]int{{1, 0}}
+	k5a, _ := Key(&q3, core.HSP)
+	k5b, _ := Key(&q4, core.HSP)
+	if k5a != k5b {
+		t.Error("skip pair orientation must not change the key")
+	}
+}
+
+type fakeMetric struct{}
+
+func (fakeMetric) Dist(a, b geo.Point) float64 { return a.Dist(b) }
+func (fakeMetric) DominatesEuclidean() bool    { return true }
+
+func TestMetricQueriesNotCacheable(t *testing.T) {
+	_, q := setup(t)
+	q.Example.Metric = fakeMetric{}
+	if _, ok := Key(q, core.HSP); ok {
+		t.Error("metric queries must not be cacheable")
+	}
+}
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(2)
+	r1, r2, r3 := &core.Result{}, &core.Result{}, &core.Result{}
+	c.Put("a", r1)
+	c.Put("b", r2)
+	if got, ok := c.Get("a"); !ok || got != r1 {
+		t.Fatal("a should be cached")
+	}
+	c.Put("c", r3) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	c := New(2)
+	r1, r2 := &core.Result{}, &core.Result{}
+	c.Put("a", r1)
+	c.Put("a", r2)
+	if got, _ := c.Get("a"); got != r2 {
+		t.Error("Put must overwrite")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestSearchThroughCache(t *testing.T) {
+	eng, q := setup(t)
+	c := New(16)
+	ctx := context.Background()
+
+	q1 := *q
+	res1, cached, err := c.Search(ctx, eng, &q1, core.HSP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first search cannot be a cache hit")
+	}
+	q2 := *q
+	res2, cached, err := c.Search(ctx, eng, &q2, core.HSP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("second identical search should hit the cache")
+	}
+	if len(res1.Tuples) != len(res2.Tuples) {
+		t.Fatal("cached result diverges")
+	}
+	for i := range res1.Tuples {
+		if res1.Tuples[i].Sim != res2.Tuples[i].Sim {
+			t.Error("cached similarities diverge")
+		}
+	}
+}
+
+func TestSearchNormalizesBeforeKeying(t *testing.T) {
+	eng, q := setup(t)
+	c := New(16)
+	ctx := context.Background()
+
+	// explicit defaults vs zero-value defaults must share an entry
+	q1 := *q
+	q1.Params = query.Params{K: 5, Alpha: 0.5, Beta: 1.5, GridD: 5, Xi: 10}
+	if _, _, err := c.Search(ctx, eng, &q1, core.HSP, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	q2 := *q
+	q2.Params = query.Params{} // normalizes to the same defaults
+	_, cached, err := c.Search(ctx, eng, &q2, core.HSP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("normalized-equal queries should share a cache entry")
+	}
+}
+
+func TestSearchValidationError(t *testing.T) {
+	eng, q := setup(t)
+	c := New(4)
+	bad := *q
+	bad.Params.Alpha = 9
+	if _, _, err := c.Search(context.Background(), eng, &bad, core.HSP, core.Options{}); err == nil {
+		t.Error("invalid query should fail through the cache too")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := string(rune('a' + (i+w)%12))
+				if i%2 == 0 {
+					c.Put(key, &core.Result{})
+				} else {
+					c.Get(key)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,95 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+)
+
+func TestPairActive(t *testing.T) {
+	ex := Example{SkipPairs: [][2]int{{0, 2}}}
+	if ex.PairActive(0, 2) || ex.PairActive(2, 0) {
+		t.Error("skipped pair must be inactive in both orientations")
+	}
+	if !ex.PairActive(0, 1) || !ex.PairActive(1, 2) {
+		t.Error("other pairs stay active")
+	}
+}
+
+func TestPairGraphDiameter(t *testing.T) {
+	cases := []struct {
+		m        int
+		skip     [][2]int
+		wantDiam int
+		wantConn bool
+	}{
+		{3, nil, 1, true},
+		{3, [][2]int{{0, 2}}, 2, true},                 // path 0-1-2
+		{3, [][2]int{{0, 1}, {0, 2}}, 0, false},        // 0 isolated
+		{4, [][2]int{{0, 2}, {0, 3}, {1, 3}}, 3, true}, // path 0-1-2-3
+		{2, nil, 1, true},
+	}
+	for i, c := range cases {
+		ex := Example{
+			Categories: make([]dataset.CategoryID, c.m),
+			SkipPairs:  c.skip,
+		}
+		// Categories length defines M; locations/attrs irrelevant here
+		diam, conn := ex.PairGraphDiameter()
+		if conn != c.wantConn || (conn && diam != c.wantDiam) {
+			t.Errorf("case %d: diameter = %d, connected = %v; want %d, %v",
+				i, diam, conn, c.wantDiam, c.wantConn)
+		}
+	}
+}
+
+func TestMaskedDistVectorAndNorm(t *testing.T) {
+	ex := Example{
+		Categories: make([]dataset.CategoryID, 3),
+		Locations:  []geo.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 4}},
+		Attrs:      [][]float64{{1}, {1}, {1}},
+	}
+	full := ex.DistVector() // d01=3, d02=4, d12=5
+	if len(full) != 3 {
+		t.Fatalf("full vector = %v", full)
+	}
+	ex.SkipPairs = [][2]int{{0, 1}}
+	masked := ex.DistVector()
+	if len(masked) != 2 {
+		t.Fatalf("masked vector = %v", masked)
+	}
+	// order: d02 then d12 (prefix-friendly with d01 skipped)
+	if math.Abs(masked[0]-4) > 1e-12 || math.Abs(masked[1]-5) > 1e-12 {
+		t.Errorf("masked vector = %v, want [4 5]", masked)
+	}
+	wantNorm := math.Sqrt(16 + 25)
+	if math.Abs(ex.Norm()-wantNorm) > 1e-12 {
+		t.Errorf("masked norm = %g, want %g", ex.Norm(), wantNorm)
+	}
+}
+
+type doublingMetric struct{}
+
+func (doublingMetric) Dist(a, b geo.Point) float64 { return 2 * a.Dist(b) }
+func (doublingMetric) DominatesEuclidean() bool    { return true }
+
+func TestMetricDistVector(t *testing.T) {
+	ex := Example{
+		Categories: make([]dataset.CategoryID, 2),
+		Locations:  []geo.Point{{X: 0, Y: 0}, {X: 3, Y: 4}},
+		Attrs:      [][]float64{{1}, {1}},
+		Metric:     doublingMetric{},
+	}
+	if d := ex.Dist(ex.Locations[0], ex.Locations[1]); d != 10 {
+		t.Errorf("metric Dist = %g, want 10", d)
+	}
+	v := ex.DistVector()
+	if len(v) != 1 || v[0] != 10 {
+		t.Errorf("metric DistVector = %v", v)
+	}
+	if n := ex.Norm(); n != 10 {
+		t.Errorf("metric Norm = %g", n)
+	}
+}

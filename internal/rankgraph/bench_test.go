@@ -1,0 +1,60 @@
+package rankgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func benchLists(m, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	lists := make([][]float64, m)
+	for d := range lists {
+		l := make([]float64, n)
+		for i := range l {
+			l[i] = rng.Float64()
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(l)))
+		lists[d] = l
+	}
+	return lists
+}
+
+// BenchmarkTop10 measures LORA's per-cell-tuple workload: pop the ten best
+// combinations from m sorted lists of xi entries.
+func BenchmarkTop10(b *testing.B) {
+	for _, m := range []int{2, 3, 5} {
+		lists := benchLists(m, 10, 7)
+		b.Run(sizeName(m), func(b *testing.B) {
+			e := New(lists)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Reset(lists)
+				for p := 0; p < 10; p++ {
+					if _, _, ok := e.Next(); !ok {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustive drains a full product space.
+func BenchmarkExhaustive(b *testing.B) {
+	lists := benchLists(3, 20, 9) // 8000 combinations
+	e := New(lists)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset(lists)
+		for {
+			if _, _, ok := e.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func sizeName(m int) string {
+	return "m=" + string(rune('0'+m))
+}

@@ -1,0 +1,256 @@
+// Package rankgraph implements the rank-representation graph of LORA's
+// point-tuple enumeration (paper Section III-C2, Lemma 2, Algorithm 5).
+//
+// Given m lists of scores, each sorted in descending order, every
+// combination (one index per list) is a graph node identified by its rank
+// vector; [0,0,...,0] is the root r0. A node's out-neighbours increment a
+// single rank by one. Lemma 2 shows that enumerating nodes by ascending
+// shortest-path distance from r0 — with edge weight score(t) − score(v) —
+// is the same as enumerating combinations by descending total score.
+//
+// Enumerator realises that traversal as a lazy best-first search: Next
+// yields rank vectors in non-increasing total-score order, visiting each
+// combination at most once, and materialises only the frontier (O(visited)
+// memory rather than the full product space).
+//
+// The enumerator sits on LORA's innermost hot path (one instance per cell
+// tuple), so it is engineered to amortise allocations: visited-set keys
+// are mixed-radix integers (falling back to strings only for astronomically
+// large product spaces), rank-vector storage is recycled through a
+// freelist, and Reset reuses all internal state for the next cell tuple.
+package rankgraph
+
+import "math"
+
+// Enumerator yields index combinations over m descending score lists in
+// non-increasing total-score order.
+type Enumerator struct {
+	lists [][]float64
+	pq    []node
+	ranks []int32 // scratch returned by Next; callers must not retain
+	free  [][]int32
+
+	// visited set: mixed-radix integer keys when the product space fits
+	// in uint64, string keys otherwise.
+	strides []uint64
+	seen    map[uint64]struct{}
+	seenStr map[string]struct{}
+
+	closed bool
+}
+
+type node struct {
+	ranks []int32
+	total float64
+}
+
+// New returns an enumerator over the given descending score lists. Any
+// empty list makes the product space empty (Next returns false
+// immediately). Lists are not copied; callers must not mutate them while
+// enumerating. New panics if a list is not sorted descending — that would
+// silently break the enumeration order invariant.
+func New(lists [][]float64) *Enumerator {
+	e := &Enumerator{}
+	e.Reset(lists)
+	return e
+}
+
+// Reset re-arms the enumerator over a new set of lists, reusing all
+// internal storage. Semantics match New.
+func (e *Enumerator) Reset(lists [][]float64) {
+	e.lists = lists
+	// reclaim the leftover frontier's rank storage before dropping it
+	for _, n := range e.pq {
+		e.free = append(e.free, n.ranks)
+	}
+	e.pq = e.pq[:0]
+	e.closed = false
+	if e.seen != nil {
+		clear(e.seen)
+	}
+	if e.seenStr != nil {
+		clear(e.seenStr)
+	}
+
+	for _, l := range lists {
+		if len(l) == 0 {
+			e.closed = true
+			return
+		}
+		for i := 1; i < len(l); i++ {
+			if l[i] > l[i-1] {
+				panic("rankgraph: score list not sorted descending")
+			}
+		}
+	}
+
+	// mixed-radix strides: key = sum ranks[d]*strides[d], unique because
+	// ranks[d] < len(lists[d]).
+	if cap(e.strides) < len(lists) {
+		e.strides = make([]uint64, len(lists))
+	}
+	e.strides = e.strides[:len(lists)]
+	stride := uint64(1)
+	intKeys := true
+	for d, l := range lists {
+		e.strides[d] = stride
+		next, overflow := mulOverflow(stride, uint64(len(l)))
+		if overflow {
+			intKeys = false
+			break
+		}
+		stride = next
+	}
+	if intKeys {
+		if e.seen == nil {
+			e.seen = make(map[uint64]struct{})
+		}
+		e.seenStr = nil
+	} else {
+		if e.seenStr == nil {
+			e.seenStr = make(map[string]struct{})
+		}
+		e.strides = e.strides[:0]
+	}
+
+	root := e.newRanks(len(lists))
+	for i := range root {
+		root[i] = 0
+	}
+	var total float64
+	for _, l := range lists {
+		total += l[0]
+	}
+	e.push(root, total)
+	if cap(e.ranks) < len(lists) {
+		e.ranks = make([]int32, len(lists))
+	}
+	e.ranks = e.ranks[:len(lists)]
+}
+
+// Next returns the next combination and its total score. The returned
+// slice is reused between calls; copy it to retain it. ok is false when
+// the space is exhausted.
+func (e *Enumerator) Next() (ranks []int32, total float64, ok bool) {
+	if e.closed || len(e.pq) == 0 {
+		return nil, 0, false
+	}
+	n := e.pop()
+	copy(e.ranks, n.ranks)
+	// Expand out-neighbours: increment each dimension's rank by one.
+	for d := range n.ranks {
+		r := n.ranks[d] + 1
+		if int(r) >= len(e.lists[d]) {
+			continue
+		}
+		if e.markVisitedChild(n.ranks, d, r) {
+			continue
+		}
+		child := e.newRanks(len(n.ranks))
+		copy(child, n.ranks)
+		child[d] = r
+		childTotal := n.total - e.lists[d][r-1] + e.lists[d][r]
+		e.pq = append(e.pq, node{ranks: child, total: childTotal})
+		e.up(len(e.pq) - 1)
+	}
+	e.free = append(e.free, n.ranks)
+	return e.ranks, n.total, true
+}
+
+// markVisitedChild records the child of ranks with dimension d bumped to r
+// in the visited set; it reports whether the child was already present.
+func (e *Enumerator) markVisitedChild(ranks []int32, d int, r int32) bool {
+	if e.seenStr == nil {
+		var key uint64
+		for i, v := range ranks {
+			key += uint64(v) * e.strides[i]
+		}
+		key += uint64(r-ranks[d]) * e.strides[d]
+		if _, dup := e.seen[key]; dup {
+			return true
+		}
+		e.seen[key] = struct{}{}
+		return false
+	}
+	buf := make([]byte, 0, 4*len(ranks))
+	for i, v := range ranks {
+		if i == d {
+			v = r
+		}
+		buf = append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	key := string(buf)
+	if _, dup := e.seenStr[key]; dup {
+		return true
+	}
+	e.seenStr[key] = struct{}{}
+	return false
+}
+
+// push inserts a node (used only for the root, which is never a duplicate).
+func (e *Enumerator) push(ranks []int32, total float64) {
+	e.pq = append(e.pq, node{ranks: ranks, total: total})
+	e.up(len(e.pq) - 1)
+}
+
+func (e *Enumerator) newRanks(m int) []int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		if cap(s) >= m {
+			return s[:m]
+		}
+	}
+	return make([]int32, m)
+}
+
+// pop removes and returns the max-total node.
+func (e *Enumerator) pop() node {
+	top := e.pq[0]
+	last := len(e.pq) - 1
+	e.pq[0] = e.pq[last]
+	e.pq = e.pq[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	return top
+}
+
+// up and down maintain a max-heap on node.total.
+func (e *Enumerator) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if e.pq[parent].total >= e.pq[i].total {
+			break
+		}
+		e.pq[parent], e.pq[i] = e.pq[i], e.pq[parent]
+		i = parent
+	}
+}
+
+func (e *Enumerator) down(i int) {
+	n := len(e.pq)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && e.pq[l].total > e.pq[largest].total {
+			largest = l
+		}
+		if r < n && e.pq[r].total > e.pq[largest].total {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		e.pq[i], e.pq[largest] = e.pq[largest], e.pq[i]
+		i = largest
+	}
+}
+
+func mulOverflow(a, b uint64) (uint64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	c := a * b
+	return c, c/b != a || c > math.MaxUint64/2 // keep headroom for key sums
+}

@@ -1,0 +1,43 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/geo"
+)
+
+func benchPoints(n int) []geo.Point {
+	rng := rand.New(rand.NewSource(1))
+	return randPoints(rng, n, 1000)
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	pts := benchPoints(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(pts, nil)
+	}
+}
+
+func BenchmarkSearch100k(b *testing.B) {
+	pts := benchPoints(100000)
+	tr := New(pts, nil)
+	rng := rand.New(rand.NewSource(2))
+	var dst []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Float64()*950, rng.Float64()*950
+		dst = tr.Search(geo.Rect{MinX: x, MinY: y, MaxX: x + 50, MaxY: y + 50}, dst[:0])
+	}
+}
+
+func BenchmarkNearest100k(b *testing.B) {
+	pts := benchPoints(100000)
+	tr := New(pts, nil)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, 10, nil)
+	}
+}

@@ -1,0 +1,107 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialseq/internal/geo"
+)
+
+func bruteNearest(pts []geo.Point, q geo.Point, k int, filter func(int32) bool) []Neighbor {
+	var all []Neighbor
+	for i, p := range pts {
+		if filter != nil && !filter(int32(i)) {
+			continue
+		}
+		all = append(all, Neighbor{Ref: int32(i), Dist: p.Dist(q)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Ref < all[j].Ref
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{1, 5, 16, 100, 2000} {
+		pts := randPoints(rng, n, 100)
+		tr := New(pts, nil)
+		for trial := 0; trial < 20; trial++ {
+			q := geo.Point{X: rng.Float64() * 120, Y: rng.Float64() * 120}
+			k := 1 + rng.Intn(10)
+			got := tr.Nearest(q, k, nil)
+			want := bruteNearest(pts, q, k, nil)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: got %d, want %d", n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Ref != want[i].Ref || got[i].Dist != want[i].Dist {
+					t.Fatalf("n=%d k=%d rank %d: got %+v want %+v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNearestWithFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	pts := randPoints(rng, 500, 50)
+	tr := New(pts, nil)
+	evens := func(ref int32) bool { return ref%2 == 0 }
+	q := geo.Point{X: 25, Y: 25}
+	got := tr.Nearest(q, 7, evens)
+	want := bruteNearest(pts, q, 7, evens)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Ref != want[i].Ref {
+			t.Fatalf("rank %d: got %d want %d", i, got[i].Ref, want[i].Ref)
+		}
+		if got[i].Ref%2 != 0 {
+			t.Fatalf("filter violated: %d", got[i].Ref)
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr := New(nil, nil)
+	if got := tr.Nearest(geo.Point{}, 3, nil); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+	tr = New([]geo.Point{{X: 1, Y: 1}}, nil)
+	if got := tr.Nearest(geo.Point{}, 0, nil); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	got := tr.Nearest(geo.Point{X: 1, Y: 1}, 5, nil)
+	if len(got) != 1 || got[0].Dist != 0 {
+		t.Errorf("single point tree: %v", got)
+	}
+	// filter everything out
+	none := func(int32) bool { return false }
+	if got := tr.Nearest(geo.Point{}, 3, none); len(got) != 0 {
+		t.Errorf("all-filtered returned %v", got)
+	}
+}
+
+func TestNearestKLargerThanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := randPoints(rng, 9, 10)
+	tr := New(pts, nil)
+	got := tr.Nearest(geo.Point{X: 5, Y: 5}, 50, nil)
+	if len(got) != 9 {
+		t.Errorf("got %d results, want all 9", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Error("results not ascending by distance")
+		}
+	}
+}

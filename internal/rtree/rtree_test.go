@@ -1,0 +1,173 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialseq/internal/geo"
+)
+
+func randPoints(rng *rand.Rand, n int, extent float64) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	}
+	return pts
+}
+
+func bruteSearch(pts []geo.Point, r geo.Rect) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if r.Contains(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sorted(xs []int32) []int32 {
+	out := make([]int32, len(xs))
+	copy(out, xs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil, nil)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("empty tree bounds should be empty")
+	}
+	if got := tr.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, nil); len(got) != 0 {
+		t.Errorf("Search on empty tree = %v", got)
+	}
+	if got := tr.Count(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}); got != 0 {
+		t.Errorf("Count on empty tree = %d", got)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr := New([]geo.Point{{X: 5, Y: 5}}, nil)
+	if got := tr.Search(geo.Rect{MinX: 4, MinY: 4, MaxX: 6, MaxY: 6}, nil); !equalIDs(got, []int32{0}) {
+		t.Errorf("Search = %v", got)
+	}
+	if got := tr.Search(geo.Rect{MinX: 6, MinY: 6, MaxX: 7, MaxY: 7}, nil); len(got) != 0 {
+		t.Errorf("miss Search = %v", got)
+	}
+	// closed-boundary inclusion
+	if got := tr.Search(geo.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}, nil); !equalIDs(got, []int32{0}) {
+		t.Errorf("degenerate rect Search = %v", got)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 15, 16, 17, 100, 1000, 5000} {
+		pts := randPoints(rng, n, 100)
+		tr := New(pts, nil)
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		for trial := 0; trial < 30; trial++ {
+			x1, x2 := rng.Float64()*100, rng.Float64()*100
+			y1, y2 := rng.Float64()*100, rng.Float64()*100
+			r := geo.Rect{MinX: minf(x1, x2), MinY: minf(y1, y2), MaxX: maxf(x1, x2), MaxY: maxf(y1, y2)}
+			got := sorted(tr.Search(r, nil))
+			want := sorted(bruteSearch(pts, r))
+			if !equalIDs(got, want) {
+				t.Fatalf("n=%d: Search(%v) = %d ids, brute = %d ids", n, r, len(got), len(want))
+			}
+			if c := tr.Count(r); c != len(want) {
+				t.Fatalf("n=%d: Count(%v) = %d, want %d", n, r, c, len(want))
+			}
+		}
+	}
+}
+
+func TestCustomRefs(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	refs := []int32{100, 200}
+	tr := New(pts, refs)
+	got := sorted(tr.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}, nil))
+	if !equalIDs(got, []int32{100, 200}) {
+		t.Errorf("Search with refs = %v", got)
+	}
+}
+
+func TestFullCoverageSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 777, 50)
+	tr := New(pts, nil)
+	all := tr.Search(tr.Bounds(), nil)
+	if len(all) != len(pts) {
+		t.Errorf("full-bounds search returned %d of %d", len(all), len(pts))
+	}
+	if tr.Count(tr.Bounds()) != len(pts) {
+		t.Errorf("full-bounds count = %d", tr.Count(tr.Bounds()))
+	}
+}
+
+func TestDuplicateLocations(t *testing.T) {
+	pts := make([]geo.Point, 50)
+	for i := range pts {
+		pts[i] = geo.Point{X: 3, Y: 3}
+	}
+	tr := New(pts, nil)
+	got := tr.Search(geo.Rect{MinX: 3, MinY: 3, MaxX: 3, MaxY: 3}, nil)
+	if len(got) != 50 {
+		t.Errorf("duplicate-location search returned %d, want 50", len(got))
+	}
+}
+
+func TestAppendSemantics(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 1}, {X: 9, Y: 9}}
+	tr := New(pts, nil)
+	dst := []int32{42}
+	dst = tr.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, dst)
+	if len(dst) != 3 || dst[0] != 42 {
+		t.Errorf("Search must append to dst, got %v", dst)
+	}
+}
+
+func TestVariousFanouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 500, 100)
+	r := geo.Rect{MinX: 20, MinY: 20, MaxX: 60, MaxY: 60}
+	want := sorted(bruteSearch(pts, r))
+	for _, fanout := range []int{1, 2, 3, 8, 64, 1000} {
+		tr := NewWithFanout(pts, nil, fanout)
+		got := sorted(tr.Search(r, nil))
+		if !equalIDs(got, want) {
+			t.Errorf("fanout %d: got %d ids, want %d", fanout, len(got), len(want))
+		}
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,360 @@
+// Package server exposes the example-based search engine as a JSON HTTP
+// API — the "map service" surface of the paper's Figure 2. The handler is
+// stateless beyond the immutable engine, so it is safe for concurrent use.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness probe
+//	GET  /stats     dataset summary (size, categories, bounds)
+//	POST /search    run a query; see SearchRequest / SearchResponse
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/export"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/qcache"
+	"spatialseq/internal/query"
+)
+
+// Server handles the HTTP API for one engine.
+type Server struct {
+	eng *core.Engine
+	// Timeout bounds each search request (default 30s).
+	Timeout time.Duration
+	cache   *qcache.Cache
+	mux     *http.ServeMux
+}
+
+// New builds a Server around eng with a default-sized result cache.
+func New(eng *core.Engine) *Server {
+	s := &Server{
+		eng:     eng,
+		Timeout: 30 * time.Second,
+		cache:   qcache.New(0),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/categories", s.handleCategories)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/snap", s.handleSnap)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ExampleObject is one dimension of the request example.
+type ExampleObject struct {
+	X        float64   `json:"x"`
+	Y        float64   `json:"y"`
+	Category string    `json:"category"`
+	Attrs    []float64 `json:"attrs,omitempty"`
+	// FixedID pins this dimension to the dataset object with this ID
+	// (CSEQ-FP). Nil leaves the dimension free.
+	FixedID *int64 `json:"fixed_id,omitempty"`
+}
+
+// SearchRequest is the /search request body.
+type SearchRequest struct {
+	Variant   string `json:"variant,omitempty"` // "cseq" (default), "seq", "cseq-fp"
+	Algorithm string `json:"algorithm,omitempty"`
+	// Format selects the response encoding: "" / "json" for
+	// SearchResponse, "geojson" for an RFC 7946 FeatureCollection that a
+	// map UI can render directly.
+	Format  string          `json:"format,omitempty"`
+	K       int             `json:"k,omitempty"`
+	Alpha   float64         `json:"alpha,omitempty"`
+	Beta    float64         `json:"beta,omitempty"`
+	GridD   int             `json:"grid_d,omitempty"`
+	Xi      int             `json:"xi,omitempty"`
+	Example []ExampleObject `json:"example"`
+}
+
+// ResultObject is one matched object.
+type ResultObject struct {
+	ID       int64     `json:"id"`
+	Name     string    `json:"name"`
+	X        float64   `json:"x"`
+	Y        float64   `json:"y"`
+	Category string    `json:"category"`
+	Attrs    []float64 `json:"attrs"`
+}
+
+// ResultTuple is one ranked answer.
+type ResultTuple struct {
+	Sim     float64        `json:"sim"`
+	Objects []ResultObject `json:"objects"`
+}
+
+// SearchResponse is the /search response body.
+type SearchResponse struct {
+	Algorithm string        `json:"algorithm"`
+	Variant   string        `json:"variant"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Results   []ResultTuple `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+type statsResponse struct {
+	Objects    int        `json:"objects"`
+	Categories int        `json:"categories"`
+	AttrDim    int        `json:"attr_dim"`
+	Bounds     [4]float64 `json:"bounds"` // minx, miny, maxx, maxy
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ds := s.eng.Dataset()
+	b := ds.Bounds()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Objects:    ds.Len(),
+		Categories: ds.NumCategories(),
+		AttrDim:    ds.AttrDim(),
+		Bounds:     [4]float64{b.MinX, b.MinY, b.MaxX, b.MaxY},
+	})
+}
+
+// CategoryInfo describes one category for example-building clients.
+type CategoryInfo struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
+	ds := s.eng.Dataset()
+	out := make([]CategoryInfo, 0, ds.NumCategories())
+	for c, size := range ds.CategorySizes() {
+		out = append(out, CategoryInfo{Name: ds.CategoryName(dataset.CategoryID(c)), Count: size})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req SearchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	switch req.Format {
+	case "", "json", "geojson":
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown format %q", req.Format)})
+		return
+	}
+	q, err := s.buildQuery(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	algo, err := core.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.Timeout)
+	defer cancel()
+	res, cached, err := s.cache.Search(ctx, s.eng, q, algo, core.Options{})
+	if err != nil {
+		status := http.StatusBadRequest
+		if ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if req.Format == "geojson" {
+		w.Header().Set("Content-Type", "application/geo+json")
+		w.WriteHeader(http.StatusOK)
+		_ = export.Results(w, s.eng.Dataset(), q, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildResponse(q, res))
+}
+
+// SnapRequest is the /snap request body: a map click to resolve to the
+// nearest real objects (the example-selection interaction of Fig. 2).
+type SnapRequest struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Category string  `json:"category,omitempty"` // empty = any category
+	K        int     `json:"k,omitempty"`        // default 5
+}
+
+// SnapResponse is the /snap response body.
+type SnapResponse struct {
+	Results []SnapResult `json:"results"`
+}
+
+// SnapResult is one nearest object.
+type SnapResult struct {
+	Object ResultObject `json:"object"`
+	Dist   float64      `json:"dist"`
+}
+
+func (s *Server) handleSnap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req SnapRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	ds := s.eng.Dataset()
+	cat := dataset.NoCategory
+	if req.Category != "" {
+		var ok bool
+		cat, ok = ds.CategoryByName(req.Category)
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown category %q", req.Category)})
+			return
+		}
+	}
+	k := req.K
+	if k <= 0 {
+		k = 5
+	}
+	var resp SnapResponse
+	for _, sr := range s.eng.Snap(geo.Point{X: req.X, Y: req.Y}, cat, k) {
+		o := ds.Object(int(sr.Position))
+		resp.Results = append(resp.Results, SnapResult{
+			Dist: sr.Dist,
+			Object: ResultObject{
+				ID: o.ID, Name: o.Name, X: o.Loc.X, Y: o.Loc.Y,
+				Category: ds.CategoryName(o.Category), Attrs: o.Attr,
+			},
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) buildQuery(req *SearchRequest) (*query.Query, error) {
+	ds := s.eng.Dataset()
+	if len(req.Example) < 2 {
+		return nil, fmt.Errorf("example needs at least 2 objects, got %d", len(req.Example))
+	}
+	q := &query.Query{
+		Params: query.Params{K: req.K, Alpha: req.Alpha, Beta: req.Beta, GridD: req.GridD, Xi: req.Xi},
+	}
+	switch req.Variant {
+	case "", "cseq":
+		q.Variant = query.CSEQ
+	case "seq":
+		q.Variant = query.SEQ
+	case "cseq-fp":
+		q.Variant = query.CSEQFP
+	default:
+		return nil, fmt.Errorf("unknown variant %q", req.Variant)
+	}
+	idIndex := make(map[int64]int32)
+	for dim, eo := range req.Example {
+		cat, ok := ds.CategoryByName(eo.Category)
+		if !ok {
+			return nil, fmt.Errorf("example[%d]: unknown category %q", dim, eo.Category)
+		}
+		attrs := eo.Attrs
+		if attrs == nil {
+			attrs = categoryCentroid(ds, cat)
+			if attrs == nil {
+				return nil, fmt.Errorf("example[%d]: category %q is empty; supply attrs", dim, eo.Category)
+			}
+		}
+		q.Example.Categories = append(q.Example.Categories, cat)
+		q.Example.Locations = append(q.Example.Locations, geo.Point{X: eo.X, Y: eo.Y})
+		q.Example.Attrs = append(q.Example.Attrs, attrs)
+		if eo.FixedID != nil {
+			if len(idIndex) == 0 {
+				for i := 0; i < ds.Len(); i++ {
+					idIndex[ds.Object(i).ID] = int32(i)
+				}
+			}
+			pos, ok := idIndex[*eo.FixedID]
+			if !ok {
+				return nil, fmt.Errorf("example[%d]: fixed_id %d not in dataset", dim, *eo.FixedID)
+			}
+			q.Example.Fixed = append(q.Example.Fixed, query.FixedPoint{Dim: dim, Obj: pos})
+		}
+	}
+	return q, nil
+}
+
+func (s *Server) buildResponse(q *query.Query, res *core.Result) SearchResponse {
+	ds := s.eng.Dataset()
+	out := SearchResponse{
+		Algorithm: res.Algorithm.String(),
+		Variant:   q.Variant.String(),
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	for _, t := range res.Tuples {
+		rt := ResultTuple{Sim: t.Sim}
+		for _, pos := range t.Positions {
+			o := ds.Object(int(pos))
+			rt.Objects = append(rt.Objects, ResultObject{
+				ID:       o.ID,
+				Name:     o.Name,
+				X:        o.Loc.X,
+				Y:        o.Loc.Y,
+				Category: ds.CategoryName(o.Category),
+				Attrs:    o.Attr,
+			})
+		}
+		out.Results = append(out.Results, rt)
+	}
+	return out
+}
+
+func categoryCentroid(ds *dataset.Dataset, cat dataset.CategoryID) []float64 {
+	objs := ds.CategoryObjects(cat)
+	if len(objs) == 0 {
+		return nil
+	}
+	centroid := make([]float64, ds.AttrDim())
+	for _, pos := range objs {
+		for j, a := range ds.Object(int(pos)).Attr {
+			centroid[j] += a
+		}
+	}
+	for j := range centroid {
+		centroid[j] /= float64(len(objs))
+	}
+	return centroid
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

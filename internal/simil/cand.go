@@ -1,0 +1,55 @@
+package simil
+
+import "slices"
+
+// Cand is a candidate object for one example dimension: its dataset
+// position and its attribute similarity to that dimension's example point.
+// Candidate lists travel with their sims so the hot enumeration loops never
+// re-derive them.
+type Cand struct {
+	Pos int32
+	Sim float64
+}
+
+// Candidates filters positions down to the objects matching dimension dim's
+// category and returns them sorted by attribute similarity descending
+// (ties broken by position ascending, for deterministic enumeration).
+func (c *Context) Candidates(dim int, positions []int32) []Cand {
+	cat := c.Ex.Categories[dim]
+	out := make([]Cand, 0, len(positions)/4+1)
+	for _, pos := range positions {
+		if c.DS.Object(int(pos)).Category != cat {
+			continue
+		}
+		out = append(out, Cand{Pos: pos, Sim: c.AttrSim(dim, pos)})
+	}
+	SortCandidates(out)
+	return out
+}
+
+// SortCandidates orders cands by similarity descending, position ascending.
+func SortCandidates(cands []Cand) {
+	slices.SortFunc(cands, func(a, b Cand) int {
+		switch {
+		case a.Sim > b.Sim:
+			return -1
+		case a.Sim < b.Sim:
+			return 1
+		case a.Pos < b.Pos:
+			return -1
+		case a.Pos > b.Pos:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// MaxSim returns the best similarity in a sorted candidate list, or 0 for
+// an empty list.
+func MaxSim(cands []Cand) float64 {
+	if len(cands) == 0 {
+		return 0
+	}
+	return cands[0].Sim
+}

@@ -1,0 +1,375 @@
+// Package simil evaluates the SEQ/CSEQ similarity model for one query: the
+// spatial cosine over distance vectors, the per-dimension attribute
+// cosines, the combined tuple similarity, and the prefix upper bounds the
+// pruning algorithms rely on (the paper's Eq. 5, Eq. 6 and Eq. 9).
+//
+// A Context is built once per query and then shared read-only by the
+// enumeration; the scratch buffers needed during DFS live in a separate
+// per-goroutine Scratch value.
+package simil
+
+import (
+	"math"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+	"spatialseq/internal/vectormath"
+)
+
+// Context holds the per-query similarity state.
+type Context struct {
+	DS    *dataset.Dataset
+	Ex    *query.Example
+	Alpha float64
+	// Beta is the effective norm constraint (+Inf for SEQ).
+	Beta float64
+	// M is the tuple size.
+	M int
+	// Pairs is the number of active distance pairs: M*(M-1)/2 minus any
+	// skipped pairs.
+	Pairs int
+	// X is the example distance vector in prefix-friendly order, with
+	// skipped pairs omitted.
+	X []float64
+	// XNormed is X normalised to unit length (x'_j). All zeros when the
+	// example is degenerate (all locations coincide).
+	XNormed []float64
+	// Norm is ||V_t*|| over the active pairs.
+	Norm float64
+	// SuffixSq[u] = sum_{j>=u} XNormed[j]^2; SuffixSq[len(X)] = 0.
+	SuffixSq []float64
+	// Active flags each PairIndex slot as participating; nil when no
+	// pairs are skipped (the common case — keeps the hot path branch-light).
+	Active []bool
+	// GraphDiam is the active-pair graph diameter (1 with no skips); the
+	// partition radius is GraphDiam * beta * ||V_t*||.
+	GraphDiam int
+	// Metric is the example's distance function (nil = Euclidean).
+	Metric query.Metric
+}
+
+// Dist measures the distance between two locations under the query metric.
+func (c *Context) Dist(a, b geo.Point) float64 {
+	if c.Metric == nil {
+		return a.Dist(b)
+	}
+	return c.Metric.Dist(a, b)
+}
+
+// NewContext prepares the similarity state for q against ds. The query must
+// already be validated.
+func NewContext(ds *dataset.Dataset, q *query.Query) *Context {
+	ex := &q.Example
+	m := ex.M()
+	var active []bool
+	diam := 1
+	if len(ex.SkipPairs) > 0 {
+		active = make([]bool, geo.PairCount(m))
+		for j := 1; j < m; j++ {
+			for i := 0; i < j; i++ {
+				active[geo.PairIndex(i, j)] = ex.PairActive(i, j)
+			}
+		}
+		if d, connected := ex.PairGraphDiameter(); connected {
+			diam = d
+		} else {
+			diam = 0 // only meaningful with beta = +Inf (validated upstream)
+		}
+	}
+	x := ex.DistVector()
+	norm := geo.Norm(x)
+	xn := make([]float64, len(x))
+	if norm > 0 {
+		for i, v := range x {
+			xn[i] = v / norm
+		}
+	}
+	suffix := make([]float64, len(x)+1)
+	for j := len(x) - 1; j >= 0; j-- {
+		suffix[j] = suffix[j+1] + xn[j]*xn[j]
+	}
+	return &Context{
+		DS:        ds,
+		Ex:        ex,
+		Alpha:     q.Params.Alpha,
+		Beta:      q.EffectiveBeta(),
+		M:         m,
+		Pairs:     len(x),
+		X:         x,
+		XNormed:   xn,
+		Norm:      norm,
+		SuffixSq:  suffix,
+		Active:    active,
+		GraphDiam: diam,
+		Metric:    ex.Metric,
+	}
+}
+
+// PartitionRadius returns the spatial containment radius for the
+// hierarchical partitioning: GraphDiam * beta * ||V_t*||. It returns +Inf
+// when the constraint cannot bound the extent (SEQ, degenerate examples, a
+// disconnected pair graph, or a metric that does not dominate the
+// Euclidean distance — then only the whole space is a safe subspace).
+func (c *Context) PartitionRadius() float64 {
+	if c.Metric != nil && !c.Metric.DominatesEuclidean() {
+		return math.Inf(1)
+	}
+	r := float64(c.GraphDiam) * c.Beta * c.Norm
+	if !(r > 0) {
+		return math.Inf(1)
+	}
+	return r
+}
+
+// DistVectorOf writes the masked distance vector of locs (under the query
+// metric) into dst (resized) and returns it.
+func (c *Context) DistVectorOf(locs []geo.Point, dst []float64) []float64 {
+	if c.Active == nil && c.Metric == nil {
+		return geo.DistVector(locs, dst)
+	}
+	dst = dst[:0]
+	for j := 1; j < len(locs); j++ {
+		for i := 0; i < j; i++ {
+			if c.Active == nil || c.Active[geo.PairIndex(i, j)] {
+				dst = append(dst, c.Dist(locs[i], locs[j]))
+			}
+		}
+	}
+	return dst
+}
+
+// AttrSim returns SIMa between example dimension dim and the dataset object
+// at position pos.
+func (c *Context) AttrSim(dim int, pos int32) float64 {
+	return vectormath.Cos(c.Ex.Attrs[dim], c.DS.Object(int(pos)).Attr)
+}
+
+// SpatialSim returns SIMs between the example and a tuple given the tuple's
+// distance vector y (prefix-friendly order).
+func (c *Context) SpatialSim(y []float64) float64 {
+	return vectormath.Cos(c.X, y)
+}
+
+// Combine merges a spatial similarity and a mean attribute similarity into
+// the tuple similarity SIM = alpha*SIMs + (1-alpha)*SIMa.
+func (c *Context) Combine(sims, sima float64) float64 {
+	return c.Alpha*sims + (1-c.Alpha)*sima
+}
+
+// NormOK reports whether a tuple norm satisfies the beta constraint.
+func (c *Context) NormOK(norm float64) bool {
+	return geo.NormOK(norm, c.Norm, c.Beta)
+}
+
+// Scratch carries reusable per-search buffers so the DFS allocates nothing
+// per candidate.
+type Scratch struct {
+	// Y is the partial (masked) distance vector of the current prefix.
+	Y []float64
+	// Locs are the locations of the current prefix.
+	Locs []geo.Point
+	// AttrSims are the per-dimension attribute sims of the current prefix.
+	AttrSims []float64
+	// active mirrors Context.Active (nil = every pair participates).
+	active []bool
+	// metric mirrors Context.Metric (nil = Euclidean).
+	metric query.Metric
+}
+
+// NewScratch sizes a scratch for tuple size m with every pair active.
+// Prefer Context.NewScratch, which carries the query's pair mask.
+func NewScratch(m int) *Scratch {
+	return &Scratch{
+		Y:        make([]float64, 0, geo.PairCount(m)),
+		Locs:     make([]geo.Point, 0, m),
+		AttrSims: make([]float64, 0, m),
+	}
+}
+
+// NewScratch returns a scratch wired to this query's pair mask and metric.
+func (c *Context) NewScratch() *Scratch {
+	s := NewScratch(c.M)
+	s.active = c.Active
+	s.metric = c.Metric
+	return s
+}
+
+// Push extends the prefix with an object location, appending its distances
+// to all previous prefix points (active pairs only) to Y. It returns the
+// number of distance entries added (for the matching Pop).
+func (s *Scratch) Push(loc geo.Point, attrSim float64) int {
+	added := 0
+	dim := len(s.Locs)
+	for i, p := range s.Locs {
+		if s.active != nil && !s.active[geo.PairIndex(i, dim)] {
+			continue
+		}
+		d := p.Dist(loc)
+		if s.metric != nil {
+			d = s.metric.Dist(p, loc)
+		}
+		s.Y = append(s.Y, d)
+		added++
+	}
+	s.Locs = append(s.Locs, loc)
+	s.AttrSims = append(s.AttrSims, attrSim)
+	return added
+}
+
+// Pop undoes a Push that added n distance entries.
+func (s *Scratch) Pop(n int) {
+	s.Y = s.Y[:len(s.Y)-n]
+	s.Locs = s.Locs[:len(s.Locs)-1]
+	s.AttrSims = s.AttrSims[:len(s.AttrSims)-1]
+}
+
+// Reset clears the scratch.
+func (s *Scratch) Reset() {
+	s.Y = s.Y[:0]
+	s.Locs = s.Locs[:0]
+	s.AttrSims = s.AttrSims[:0]
+}
+
+// PrefixNorm returns the norm of the partial distance vector.
+func (s *Scratch) PrefixNorm() float64 {
+	return geo.Norm(s.Y)
+}
+
+// AttrSum returns the sum of prefix attribute sims.
+func (s *Scratch) AttrSum() float64 {
+	var t float64
+	for _, v := range s.AttrSims {
+		t += v
+	}
+	return t
+}
+
+// SpatialBoundEq5 is DFS-Prune's completion bound (paper Eq. 5): given the
+// known prefix distances y (the first u = len(y) entries of the candidate's
+// distance vector), the cosine against the example cannot exceed
+//
+//	sqrt(A^2/C + sum_{j>=u} x'_j^2),  A = sum x'_j y_j, C = sum y_j^2.
+//
+// The result is clamped to [0, 1].
+func (c *Context) SpatialBoundEq5(y []float64) float64 {
+	u := len(y)
+	var a, cc float64
+	for j, v := range y {
+		a += c.XNormed[j] * v
+		cc += v * v
+	}
+	var bound float64
+	if cc == 0 {
+		bound = math.Sqrt(c.SuffixSq[u])
+	} else {
+		bound = math.Sqrt(a*a/cc + c.SuffixSq[u])
+	}
+	return clamp01(bound)
+}
+
+// SpatialBoundEq9 is HSP's norm-constrained refinement (paper Eq. 9):
+//
+//	SIMs <= beta*A/||V_t*||_rel + sqrt(sum_{j>=u} x'_j^2) * sqrt(1 - C/(beta^2*||V_t*||^2))
+//
+// where A and C are as in Eq. 5. It requires a finite beta and a positive
+// example norm; otherwise it returns 1 (vacuous). If the prefix norm
+// already exceeds beta*||V_t*|| no completion can satisfy the constraint
+// and the function returns -Inf so callers prune unconditionally.
+func (c *Context) SpatialBoundEq9(y []float64) float64 {
+	if math.IsInf(c.Beta, 1) || c.Norm == 0 {
+		return 1
+	}
+	u := len(y)
+	var a, cc float64
+	for j, v := range y {
+		a += c.XNormed[j] * v
+		cc += v * v
+	}
+	limit := c.Beta * c.Norm
+	if cc > limit*limit {
+		return math.Inf(-1)
+	}
+	rem := 1 - cc/(limit*limit)
+	if rem < 0 {
+		rem = 0
+	}
+	bound := c.Beta*a/c.Norm + math.Sqrt(c.SuffixSq[u])*math.Sqrt(rem)
+	return clamp01(bound)
+}
+
+// SpatialBound returns the tighter of Eq. 5 and Eq. 9 for the prefix y, as
+// HSP does ("we select the upper bound as the tighter one"). -Inf signals
+// that the prefix cannot be completed into a beta-feasible tuple.
+func (c *Context) SpatialBound(y []float64) float64 {
+	b9 := c.SpatialBoundEq9(y)
+	if math.IsInf(b9, -1) {
+		return b9
+	}
+	b5 := c.SpatialBoundEq5(y)
+	if b9 < b5 {
+		return b9
+	}
+	return b5
+}
+
+// AttrBoundLoose is DFS-Prune's attribute bound: the prefix contributes its
+// actual sims, every unseen dimension is bounded by 1. attrSum is the sum
+// over the first i dimensions; the result is the bound on the mean.
+func (c *Context) AttrBoundLoose(attrSum float64, i int) float64 {
+	return (attrSum + float64(c.M-i)) / float64(c.M)
+}
+
+// AttrBoundRefined is HSP's Eq. 6: unseen dimensions are bounded by the
+// per-subspace maxima rbar[j] instead of 1. rbarSuffix[j] must hold
+// sum_{d>=j} rbar[d] (and rbarSuffix[M] = 0).
+func (c *Context) AttrBoundRefined(attrSum float64, i int, rbarSuffix []float64) float64 {
+	return (attrSum + rbarSuffix[i]) / float64(c.M)
+}
+
+// TupleSim computes the full similarity of a completed tuple given its
+// distance vector y and per-dimension attribute sims. It does not check the
+// norm constraint; callers gate on NormOK first.
+func (c *Context) TupleSim(y, attrSims []float64) float64 {
+	var asum float64
+	for _, v := range attrSims {
+		asum += v
+	}
+	return c.Combine(c.SpatialSim(y), asum/float64(len(attrSims)))
+}
+
+// SimOfPositions scores an arbitrary tuple of dataset positions against the
+// example — the reference implementation used by brute force and by tests.
+// ok is false when the tuple violates the beta-norm constraint or repeats
+// an object.
+func (c *Context) SimOfPositions(tuple []int32) (sim float64, ok bool) {
+	for i := 0; i < len(tuple); i++ {
+		for j := i + 1; j < len(tuple); j++ {
+			if tuple[i] == tuple[j] {
+				return 0, false
+			}
+		}
+	}
+	locs := make([]geo.Point, len(tuple))
+	attr := make([]float64, len(tuple))
+	for d, pos := range tuple {
+		o := c.DS.Object(int(pos))
+		locs[d] = o.Loc
+		attr[d] = c.AttrSim(d, pos)
+	}
+	y := c.DistVectorOf(locs, nil)
+	if !c.NormOK(geo.Norm(y)) {
+		return 0, false
+	}
+	return c.TupleSim(y, attr), true
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

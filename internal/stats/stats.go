@@ -1,0 +1,144 @@
+// Package stats defines the per-search counters the algorithms expose for
+// observability: how many subspaces a query touched, how many candidate
+// tuples were scored versus pruned, how much work the cell and point
+// enumeration phases did. The counters explain *why* a query was fast or
+// slow — the companion to the wall-clock numbers the evaluation reports.
+//
+// Counters use atomics so parallel subspace workers can share one Stats.
+package stats
+
+import "sync/atomic"
+
+// Stats collects per-search counters. The zero value is ready to use; nil
+// receivers are safe no-ops so the hot paths stay branch-cheap when
+// statistics are disabled.
+type Stats struct {
+	// Subspaces is the number of ac-subspaces searched (after skips).
+	Subspaces atomic.Int64
+	// SubspacesSkipped counts subspaces skipped before any enumeration
+	// (missing category, pinned point elsewhere).
+	SubspacesSkipped atomic.Int64
+	// Candidates is the number of candidate points considered across all
+	// dimension lists.
+	Candidates atomic.Int64
+	// PrunedPrefixes counts prefixes cut by an upper bound.
+	PrunedPrefixes atomic.Int64
+	// Tuples is the number of complete tuples scored (norm-checked).
+	Tuples atomic.Int64
+	// Offered is the number of tuples offered to the top-k.
+	Offered atomic.Int64
+	// CellTuples is the number of complete cell tuples LORA examined.
+	CellTuples atomic.Int64
+	// PrunedCellPrefixes counts cell prefixes cut by the cell bound.
+	PrunedCellPrefixes atomic.Int64
+	// RankPops is the number of rank-graph combinations popped.
+	RankPops atomic.Int64
+	// SampledOut is the number of candidate points discarded by
+	// query-dependent sampling.
+	SampledOut atomic.Int64
+}
+
+// nil-safe increment helpers; algorithms call these unconditionally.
+
+// AddSubspaces increments the searched-subspace counter.
+func (s *Stats) AddSubspaces(n int64) {
+	if s != nil {
+		s.Subspaces.Add(n)
+	}
+}
+
+// AddSubspacesSkipped increments the skipped-subspace counter.
+func (s *Stats) AddSubspacesSkipped(n int64) {
+	if s != nil {
+		s.SubspacesSkipped.Add(n)
+	}
+}
+
+// AddCandidates increments the candidate-point counter.
+func (s *Stats) AddCandidates(n int64) {
+	if s != nil {
+		s.Candidates.Add(n)
+	}
+}
+
+// AddPrunedPrefixes increments the pruned-prefix counter.
+func (s *Stats) AddPrunedPrefixes(n int64) {
+	if s != nil {
+		s.PrunedPrefixes.Add(n)
+	}
+}
+
+// AddTuples increments the scored-tuple counter.
+func (s *Stats) AddTuples(n int64) {
+	if s != nil {
+		s.Tuples.Add(n)
+	}
+}
+
+// AddOffered increments the offered-tuple counter.
+func (s *Stats) AddOffered(n int64) {
+	if s != nil {
+		s.Offered.Add(n)
+	}
+}
+
+// AddCellTuples increments the examined-cell-tuple counter.
+func (s *Stats) AddCellTuples(n int64) {
+	if s != nil {
+		s.CellTuples.Add(n)
+	}
+}
+
+// AddPrunedCellPrefixes increments the pruned-cell-prefix counter.
+func (s *Stats) AddPrunedCellPrefixes(n int64) {
+	if s != nil {
+		s.PrunedCellPrefixes.Add(n)
+	}
+}
+
+// AddRankPops increments the rank-graph pop counter.
+func (s *Stats) AddRankPops(n int64) {
+	if s != nil {
+		s.RankPops.Add(n)
+	}
+}
+
+// AddSampledOut increments the sampled-out counter.
+func (s *Stats) AddSampledOut(n int64) {
+	if s != nil {
+		s.SampledOut.Add(n)
+	}
+}
+
+// Snapshot is a plain-value copy for reporting.
+type Snapshot struct {
+	Subspaces          int64
+	SubspacesSkipped   int64
+	Candidates         int64
+	PrunedPrefixes     int64
+	Tuples             int64
+	Offered            int64
+	CellTuples         int64
+	PrunedCellPrefixes int64
+	RankPops           int64
+	SampledOut         int64
+}
+
+// Snapshot copies the counters. A nil receiver yields a zero snapshot.
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Subspaces:          s.Subspaces.Load(),
+		SubspacesSkipped:   s.SubspacesSkipped.Load(),
+		Candidates:         s.Candidates.Load(),
+		PrunedPrefixes:     s.PrunedPrefixes.Load(),
+		Tuples:             s.Tuples.Load(),
+		Offered:            s.Offered.Load(),
+		CellTuples:         s.CellTuples.Load(),
+		PrunedCellPrefixes: s.PrunedCellPrefixes.Load(),
+		RankPops:           s.RankPops.Load(),
+		SampledOut:         s.SampledOut.Load(),
+	}
+}

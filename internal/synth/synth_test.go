@@ -1,0 +1,135 @@
+package synth
+
+import (
+	"testing"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, Categories: 1, AttrDim: 1, Extent: 1},
+		{N: 1, Categories: 0, AttrDim: 1, Extent: 1},
+		{N: 1, Categories: 1, AttrDim: 0, Extent: 1},
+		{N: 1, Categories: 1, AttrDim: 1, Extent: 0},
+		{N: 1, Categories: 1, AttrDim: 1, Extent: 1, UniformFrac: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestYelpLikeShape(t *testing.T) {
+	ds := MustGenerate(YelpLike(5000, 1))
+	if ds.Len() != 5000 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.NumCategories() != 1395 {
+		t.Errorf("NumCategories = %d, want 1395", ds.NumCategories())
+	}
+	if ds.AttrDim() != 12 {
+		t.Errorf("AttrDim = %d", ds.AttrDim())
+	}
+	b := ds.Bounds()
+	if b.Width() > 50.0001 || b.Height() > 50.0001 {
+		t.Errorf("bounds %v exceed the 50km extent", b)
+	}
+	// Zipf skew: the largest category should clearly dominate the median.
+	sizes := ds.CategorySizes()
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if maxSize < 20 {
+		t.Errorf("largest category only has %d objects; Zipf skew missing", maxSize)
+	}
+}
+
+func TestGaodeLikeShape(t *testing.T) {
+	ds := MustGenerate(GaodeLike(20000, 2))
+	if ds.Len() != 20000 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.NumCategories() != 20 {
+		t.Errorf("NumCategories = %d, want 20", ds.NumCategories())
+	}
+	// near-balanced categories: every category populated at this size
+	for c, s := range ds.CategorySizes() {
+		if s == 0 {
+			t.Errorf("category %d empty in a 20k Gaode-like dataset", c)
+		}
+	}
+	if b := ds.Bounds(); b.Width() > 400.0001 {
+		t.Errorf("bounds %v exceed the 400km extent", b)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustGenerate(GaodeLike(1000, 77))
+	b := MustGenerate(GaodeLike(1000, 77))
+	for i := 0; i < a.Len(); i++ {
+		oa, ob := a.Object(i), b.Object(i)
+		if oa.Loc != ob.Loc || oa.Category != ob.Category {
+			t.Fatalf("object %d differs across same-seed generations", i)
+		}
+		for j := range oa.Attr {
+			if oa.Attr[j] != ob.Attr[j] {
+				t.Fatalf("object %d attr %d differs", i, j)
+			}
+		}
+	}
+	c := MustGenerate(GaodeLike(1000, 78))
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		if a.Object(i).Loc != c.Object(i).Loc {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different datasets")
+	}
+}
+
+func TestAttributesInRange(t *testing.T) {
+	ds := MustGenerate(GaodeLike(2000, 3))
+	for i := 0; i < ds.Len(); i++ {
+		for _, a := range ds.Object(i).Attr {
+			if a < 0 || a > 1 {
+				t.Fatalf("object %d attribute %g outside [0,1]", i, a)
+			}
+		}
+	}
+}
+
+func TestClusteringPresent(t *testing.T) {
+	// The cluster process should concentrate points: a grid over the
+	// extent must contain some cells far denser than the uniform share.
+	ds := MustGenerate(GaodeLike(20000, 4))
+	const cells = 20
+	counts := make([]int, cells*cells)
+	b := ds.Bounds()
+	for i := 0; i < ds.Len(); i++ {
+		p := ds.Object(i).Loc
+		cx := int((p.X - b.MinX) / b.Width() * cells)
+		cy := int((p.Y - b.MinY) / b.Height() * cells)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		counts[cy*cells+cx]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	uniformShare := ds.Len() / (cells * cells)
+	if maxCount < 4*uniformShare {
+		t.Errorf("densest cell %d is not clearly denser than uniform share %d; clustering too weak", maxCount, uniformShare)
+	}
+}

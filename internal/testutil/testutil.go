@@ -1,0 +1,101 @@
+// Package testutil builds small deterministic datasets and queries for the
+// algorithm test suites. It lives outside the individual test files so the
+// cross-algorithm equivalence tests, the property tests and the benchmarks
+// all draw from the same fixtures.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+)
+
+// RandDataset builds a dataset of n objects spread over extent x extent,
+// with the given number of categories and attribute dimensions. Points are
+// lightly clustered (half the objects snap near one of sqrt(n) anchors) so
+// grids and partitions see realistic density variation.
+func RandDataset(rng *rand.Rand, n, categories, attrDim int, extent float64) *dataset.Dataset {
+	b := &dataset.Builder{}
+	for c := 0; c < categories; c++ {
+		b.Category(fmt.Sprintf("cat-%d", c))
+	}
+	anchors := make([]geo.Point, isqrt(n)+1)
+	for i := range anchors {
+		anchors[i] = geo.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	}
+	for i := 0; i < n; i++ {
+		var loc geo.Point
+		if rng.Intn(2) == 0 {
+			a := anchors[rng.Intn(len(anchors))]
+			loc = geo.Point{
+				X: clamp(a.X+rng.NormFloat64()*extent/40, 0, extent),
+				Y: clamp(a.Y+rng.NormFloat64()*extent/40, 0, extent),
+			}
+		} else {
+			loc = geo.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+		}
+		attr := make([]float64, attrDim)
+		for d := range attr {
+			attr[d] = 0.05 + 0.95*rng.Float64()
+		}
+		b.Add(dataset.Object{
+			ID:       int64(i),
+			Loc:      loc,
+			Category: dataset.CategoryID(rng.Intn(categories)),
+			Attr:     attr,
+		})
+	}
+	ds, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// RandQuery draws a CSEQ query with tuple size m whose example locations
+// sit within a window of roughly `scale` extent, so the example norm (and
+// with it the partitioning radius) is controlled.
+func RandQuery(rng *rand.Rand, ds *dataset.Dataset, m int, scale float64, params query.Params) *query.Query {
+	bounds := ds.Bounds()
+	cx := bounds.MinX + rng.Float64()*bounds.Width()
+	cy := bounds.MinY + rng.Float64()*bounds.Height()
+	ex := query.Example{
+		Categories: make([]dataset.CategoryID, m),
+		Locations:  make([]geo.Point, m),
+		Attrs:      make([][]float64, m),
+	}
+	for d := 0; d < m; d++ {
+		ex.Categories[d] = dataset.CategoryID(rng.Intn(ds.NumCategories()))
+		ex.Locations[d] = geo.Point{
+			X: cx + (rng.Float64()-0.5)*scale,
+			Y: cy + (rng.Float64()-0.5)*scale,
+		}
+		attr := make([]float64, ds.AttrDim())
+		for i := range attr {
+			attr[i] = 0.05 + 0.95*rng.Float64()
+		}
+		ex.Attrs[d] = attr
+	}
+	return &query.Query{Variant: query.CSEQ, Example: ex, Params: params}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func isqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,127 @@
+// Package textmap renders point sets onto a character grid for terminal
+// output — the closest a CLI gets to the paper's map panels. seqcli uses
+// it to show the example and each result tuple in place.
+//
+// The renderer maps a world-coordinate viewport onto a WxH rune canvas,
+// draws layers in order (later layers win contested cells) and emits an
+// optional legend. It has no terminal-control dependencies; the output is
+// plain text.
+package textmap
+
+import (
+	"fmt"
+	"strings"
+
+	"spatialseq/internal/geo"
+)
+
+// Layer is one set of points drawn with a single rune.
+type Layer struct {
+	// Label describes the layer in the legend ("" hides it).
+	Label string
+	// Rune marks the layer's points on the canvas.
+	Rune rune
+	// Points are the world-coordinate locations.
+	Points []geo.Point
+}
+
+// Canvas renders layers over a world viewport.
+type Canvas struct {
+	view geo.Rect
+	w, h int
+}
+
+// New creates a canvas of w x h cells covering the world rectangle view.
+// Minimum size is 8x4; the view must be non-empty.
+func New(view geo.Rect, w, h int) (*Canvas, error) {
+	if view.IsEmpty() || view.Width() == 0 || view.Height() == 0 {
+		return nil, fmt.Errorf("textmap: viewport must have positive area, got %v", view)
+	}
+	if w < 8 || h < 4 {
+		return nil, fmt.Errorf("textmap: canvas must be at least 8x4, got %dx%d", w, h)
+	}
+	return &Canvas{view: view, w: w, h: h}, nil
+}
+
+// FitView returns the minimal viewport covering all layer points, inflated
+// by 5%% so border points stay off the frame.
+func FitView(layers []Layer) geo.Rect {
+	r := geo.EmptyRect()
+	for _, l := range layers {
+		for _, p := range l.Points {
+			r = r.ExtendPoint(p)
+		}
+	}
+	if r.IsEmpty() {
+		return r
+	}
+	pad := 0.05 * maxf(r.Width(), r.Height())
+	if pad == 0 {
+		pad = 1
+	}
+	return r.Inflate(pad)
+}
+
+// Render draws the layers and returns the framed text. Later layers
+// overdraw earlier ones in contested cells. Points outside the viewport
+// are skipped.
+func (c *Canvas) Render(layers []Layer) string {
+	cells := make([]rune, c.w*c.h)
+	for i := range cells {
+		cells[i] = '·'
+	}
+	for _, l := range layers {
+		for _, p := range l.Points {
+			col, row, ok := c.cell(p)
+			if !ok {
+				continue
+			}
+			cells[row*c.w+col] = l.Rune
+		}
+	}
+	var sb strings.Builder
+	sb.Grow((c.w + 3) * (c.h + 4))
+	border := "+" + strings.Repeat("-", c.w) + "+\n"
+	sb.WriteString(border)
+	// rows render top-down: world max-Y first
+	for row := c.h - 1; row >= 0; row-- {
+		sb.WriteByte('|')
+		for col := 0; col < c.w; col++ {
+			sb.WriteRune(cells[row*c.w+col])
+		}
+		sb.WriteString("|\n")
+	}
+	sb.WriteString(border)
+	for _, l := range layers {
+		if l.Label == "" {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %c  %s\n", l.Rune, l.Label)
+	}
+	return sb.String()
+}
+
+// cell maps a world point to canvas coordinates.
+func (c *Canvas) cell(p geo.Point) (col, row int, ok bool) {
+	if !c.view.Contains(p) {
+		return 0, 0, false
+	}
+	fx := (p.X - c.view.MinX) / c.view.Width()
+	fy := (p.Y - c.view.MinY) / c.view.Height()
+	col = int(fx * float64(c.w))
+	row = int(fy * float64(c.h))
+	if col >= c.w {
+		col = c.w - 1
+	}
+	if row >= c.h {
+		row = c.h - 1
+	}
+	return col, row, true
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

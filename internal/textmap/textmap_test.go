@@ -1,0 +1,112 @@
+package textmap
+
+import (
+	"strings"
+	"testing"
+
+	"spatialseq/internal/geo"
+)
+
+func TestNewValidation(t *testing.T) {
+	ok := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if _, err := New(geo.EmptyRect(), 40, 10); err == nil {
+		t.Error("empty view should fail")
+	}
+	if _, err := New(geo.Rect{MinX: 1, MinY: 1, MaxX: 1, MaxY: 1}, 40, 10); err == nil {
+		t.Error("zero-area view should fail")
+	}
+	if _, err := New(ok, 4, 10); err == nil {
+		t.Error("too-narrow canvas should fail")
+	}
+	if _, err := New(ok, 40, 2); err == nil {
+		t.Error("too-short canvas should fail")
+	}
+	if _, err := New(ok, 40, 10); err != nil {
+		t.Errorf("valid canvas rejected: %v", err)
+	}
+}
+
+func TestRenderPlacesPoints(t *testing.T) {
+	c, err := New(geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render([]Layer{
+		{Label: "a", Rune: 'A', Points: []geo.Point{{X: 0.5, Y: 0.5}}}, // bottom-left
+		{Label: "b", Rune: 'B', Points: []geo.Point{{X: 9.5, Y: 9.5}}}, // top-right
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// frame: line 0 border, lines 1..10 rows top-down, line 11 border, legend after
+	if len(lines) < 12 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	topRow := lines[1]
+	bottomRow := lines[10]
+	if !strings.Contains(topRow, "B") {
+		t.Errorf("B should render in the top row, got %q", topRow)
+	}
+	if !strings.Contains(bottomRow, "A") {
+		t.Errorf("A should render in the bottom row, got %q", bottomRow)
+	}
+	if !strings.Contains(out, "A  a") || !strings.Contains(out, "B  b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestLaterLayersWin(t *testing.T) {
+	c, _ := New(geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 10, 10)
+	p := []geo.Point{{X: 5, Y: 5}}
+	out := c.Render([]Layer{
+		{Rune: 'X', Points: p},
+		{Rune: 'Y', Points: p},
+	})
+	if strings.Contains(out, "X") {
+		t.Error("earlier layer should be overdrawn")
+	}
+	if !strings.Contains(out, "Y") {
+		t.Error("later layer should win")
+	}
+}
+
+func TestOutOfViewSkipped(t *testing.T) {
+	c, _ := New(geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 10, 10)
+	out := c.Render([]Layer{{Rune: 'Z', Points: []geo.Point{{X: 50, Y: 50}}}})
+	if strings.Contains(out, "Z") {
+		t.Error("out-of-view point must be skipped")
+	}
+}
+
+func TestFitView(t *testing.T) {
+	layers := []Layer{
+		{Points: []geo.Point{{X: 1, Y: 2}, {X: 9, Y: 4}}},
+		{Points: []geo.Point{{X: 5, Y: 8}}},
+	}
+	v := FitView(layers)
+	for _, l := range layers {
+		for _, p := range l.Points {
+			if !v.Contains(p) {
+				t.Errorf("FitView %v misses %v", v, p)
+			}
+		}
+	}
+	if v.Width() <= 8 {
+		t.Error("FitView should pad the bounds")
+	}
+	if !FitView(nil).IsEmpty() {
+		t.Error("FitView of nothing is empty")
+	}
+	// degenerate: all points identical still yields a usable viewport
+	same := FitView([]Layer{{Points: []geo.Point{{X: 3, Y: 3}, {X: 3, Y: 3}}}})
+	if same.IsEmpty() || same.Width() == 0 {
+		t.Errorf("degenerate FitView = %v", same)
+	}
+}
+
+func TestEmptyLegendLabelHidden(t *testing.T) {
+	c, _ := New(geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 10, 10)
+	out := c.Render([]Layer{{Rune: 'Q', Points: []geo.Point{{X: 5, Y: 5}}}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12 { // 2 borders + 10 rows, no legend
+		t.Errorf("unexpected legend lines: %d\n%s", len(lines), out)
+	}
+}

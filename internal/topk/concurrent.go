@@ -1,0 +1,77 @@
+package topk
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink is the result-collection interface the search algorithms write to;
+// Heap implements it for sequential searches and Concurrent for parallel
+// ones.
+type Sink interface {
+	// K returns the result capacity.
+	K() int
+	// WouldAccept reports whether a candidate with this similarity could
+	// still enter the results. Implementations may answer with a slightly
+	// stale threshold as long as staleness is conservative (only ever
+	// admitting more candidates, never rejecting one that would fit).
+	WouldAccept(sim float64) bool
+	// Offer proposes a tuple (copied if retained).
+	Offer(tuple []int32, sim float64) bool
+}
+
+var (
+	_ Sink = (*Heap)(nil)
+	_ Sink = (*Concurrent)(nil)
+)
+
+// Concurrent is a thread-safe top-k sink for parallel subspace searches.
+// Offer takes a mutex; WouldAccept is lock-free against an atomically
+// published threshold, which may lag behind the true one — pruning with a
+// stale (lower) threshold only admits extra candidates, preserving
+// exactness.
+type Concurrent struct {
+	mu  sync.Mutex
+	h   *Heap
+	thr atomic.Uint64 // math.Float64bits of the current threshold
+}
+
+// NewConcurrent returns a Concurrent sink keeping the top k entries.
+func NewConcurrent(k int) *Concurrent {
+	c := &Concurrent{h: New(k)}
+	c.thr.Store(math.Float64bits(math.Inf(-1)))
+	return c
+}
+
+// K returns the sink's capacity.
+func (c *Concurrent) K() int { return c.h.K() }
+
+// WouldAccept reports whether sim could enter the results, using the
+// lock-free threshold snapshot.
+func (c *Concurrent) WouldAccept(sim float64) bool {
+	return sim > math.Float64frombits(c.thr.Load())
+}
+
+// Offer proposes a tuple under the lock and republishes the threshold.
+func (c *Concurrent) Offer(tuple []int32, sim float64) bool {
+	c.mu.Lock()
+	inserted := c.h.Offer(tuple, sim)
+	c.thr.Store(math.Float64bits(c.h.Threshold()))
+	c.mu.Unlock()
+	return inserted
+}
+
+// Results returns the held entries ordered best-first.
+func (c *Concurrent) Results() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.Results()
+}
+
+// Len returns the number of entries currently held.
+func (c *Concurrent) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.Len()
+}

@@ -1,0 +1,158 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOfferAndResultsOrdering(t *testing.T) {
+	h := New(3)
+	h.Offer([]int32{1, 2}, 0.5)
+	h.Offer([]int32{3, 4}, 0.9)
+	h.Offer([]int32{5, 6}, 0.7)
+	h.Offer([]int32{7, 8}, 0.8) // evicts 0.5
+	res := h.Results()
+	if len(res) != 3 {
+		t.Fatalf("len = %d", len(res))
+	}
+	want := []float64{0.9, 0.8, 0.7}
+	for i, e := range res {
+		if e.Sim != want[i] {
+			t.Errorf("res[%d].Sim = %g, want %g", i, e.Sim, want[i])
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	h := New(2)
+	if !math.IsInf(h.Threshold(), -1) {
+		t.Error("threshold of non-full heap must be -Inf")
+	}
+	h.Offer([]int32{1}, 0.3)
+	if !math.IsInf(h.Threshold(), -1) {
+		t.Error("still not full")
+	}
+	h.Offer([]int32{2}, 0.6)
+	if h.Threshold() != 0.3 {
+		t.Errorf("Threshold = %g, want 0.3", h.Threshold())
+	}
+	h.Offer([]int32{3}, 0.5)
+	if h.Threshold() != 0.5 {
+		t.Errorf("Threshold after eviction = %g, want 0.5", h.Threshold())
+	}
+}
+
+func TestWouldAccept(t *testing.T) {
+	h := New(1)
+	if !h.WouldAccept(-5) {
+		t.Error("non-full heap accepts anything")
+	}
+	h.Offer([]int32{1}, 0.5)
+	if h.WouldAccept(0.5) {
+		t.Error("equal similarity must not pass WouldAccept (bound test)")
+	}
+	if !h.WouldAccept(0.6) {
+		t.Error("higher similarity must pass")
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	h := New(3)
+	if !h.Offer([]int32{1, 2}, 0.5) {
+		t.Error("first offer should insert")
+	}
+	if h.Offer([]int32{1, 2}, 0.5) {
+		t.Error("duplicate tuple must be rejected")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+	// different order of the same positions is a different (ordered) tuple
+	if !h.Offer([]int32{2, 1}, 0.5) {
+		t.Error("reordered tuple is distinct and should insert")
+	}
+}
+
+func TestTupleCopied(t *testing.T) {
+	h := New(1)
+	buf := []int32{1, 2, 3}
+	h.Offer(buf, 0.5)
+	buf[0] = 99
+	if h.Results()[0].Tuple[0] != 1 {
+		t.Error("heap must copy offered tuples")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Same similarities, different insertion orders -> same result set.
+	tuples := [][]int32{{5}, {1}, {9}, {3}}
+	build := func(order []int) []Entry {
+		h := New(2)
+		for _, i := range order {
+			h.Offer(tuples[i], 0.5)
+		}
+		return h.Results()
+	}
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{3, 2, 1, 0})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Tuple[0] != b[i].Tuple[0] {
+			t.Errorf("tie-break not deterministic: %v vs %v", a, b)
+		}
+	}
+	// Lexicographically smallest tuples should win the tie.
+	if a[0].Tuple[0] != 1 || a[1].Tuple[0] != 3 {
+		t.Errorf("expected tuples 1,3 to win ties, got %v", a)
+	}
+}
+
+func TestAgainstSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(10)
+		n := rng.Intn(200)
+		h := New(k)
+		type cand struct {
+			tuple []int32
+			sim   float64
+		}
+		var all []cand
+		for i := 0; i < n; i++ {
+			c := cand{tuple: []int32{int32(i)}, sim: math.Round(rng.Float64()*20) / 20}
+			all = append(all, c)
+			h.Offer(c.tuple, c.sim)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].sim != all[j].sim {
+				return all[i].sim > all[j].sim
+			}
+			return all[i].tuple[0] < all[j].tuple[0]
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := h.Results()
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Sim != want[i].sim || got[i].Tuple[0] != want[i].tuple[0] {
+				t.Fatalf("trial %d: results diverge from sort oracle at %d: got (%v,%g) want (%v,%g)",
+					trial, i, got[i].Tuple, got[i].Sim, want[i].tuple, want[i].sim)
+			}
+		}
+	}
+}
+
+func TestKFloor(t *testing.T) {
+	h := New(0)
+	if h.K() != 1 {
+		t.Errorf("K normalised to %d, want 1", h.K())
+	}
+}

@@ -1,0 +1,79 @@
+package userstudy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSimulateShape(t *testing.T) {
+	s := Simulate(1)
+	if len(s.Participants) != NumParticipants {
+		t.Fatalf("participants = %d", len(s.Participants))
+	}
+	males, females := 0, 0
+	for _, p := range s.Participants {
+		switch p.Gender {
+		case "M":
+			males++
+		case "F":
+			females++
+		default:
+			t.Fatalf("unexpected gender %q", p.Gender)
+		}
+	}
+	if males != 8 || females != 5 {
+		t.Errorf("gender split %d/%d, want 8/5", males, females)
+	}
+	if len(s.Responses) != NumParticipants*NumQuestions {
+		t.Errorf("responses = %d", len(s.Responses))
+	}
+	for _, r := range s.Responses {
+		if r.Reason == "" {
+			t.Error("every response needs a reason")
+		}
+		if r.PrefersExample && r.WantsBoth {
+			t.Error("WantsBoth only applies to filter-preferring responses")
+		}
+	}
+}
+
+func TestAggregatesMatchPaperMarginals(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		a := Simulate(seed).Aggregate()
+		// 52 evaluations cannot hit 61.63% exactly; the closest integer
+		// split must land within one grid step (1/52 ≈ 1.9%).
+		if math.Abs(a.PctExample-61.63) > 2 {
+			t.Errorf("seed %d: PctExample = %.2f, want ≈61.63", seed, a.PctExample)
+		}
+		if math.Abs(a.PctFilterWantBoth-83.6) > 5 {
+			t.Errorf("seed %d: PctFilterWantBoth = %.2f, want ≈83.6", seed, a.PctFilterWantBoth)
+		}
+		if a.PreferExample+a.PreferFilter != a.Total {
+			t.Error("preferences must partition the evaluations")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Simulate(7)
+	b := Simulate(7)
+	for i := range a.Responses {
+		if a.Responses[i] != b.Responses[i] {
+			t.Fatal("same seed must reproduce the same survey")
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	var sb strings.Builder
+	if err := Simulate(3).Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"SIMULATED", "prefer example-based", "83.6%", "representative reasons"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package vectormath implements the dense-vector kernels behind the SEQ
+// similarity model: dot products, norms, cosine similarity, and the
+// summary statistics (MAE / STD / MAX) the evaluation harness reports.
+//
+// Attribute vectors in this system are non-negative, so cosine similarity
+// is always in [0, 1]; Cos clamps tiny floating-point excursions so callers
+// can rely on that range.
+package vectormath
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned by checked entry points when two vectors
+// have different lengths.
+var ErrLengthMismatch = errors.New("vectormath: vector length mismatch")
+
+// Dot returns the inner product of a and b. Panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vectormath: Dot length mismatch")
+	}
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 {
+	var s float64
+	for _, x := range a {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Cos returns the cosine similarity of a and b, clamped to [-1, 1].
+// A zero vector has undefined direction; by convention Cos returns 0 when
+// either argument has zero norm, and 1 when both do (two empty/zero tuples
+// are maximally similar to each other). Panics if lengths differ.
+func Cos(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vectormath: Cos length mismatch")
+	}
+	var dot, na, nb float64
+	for i, x := range a {
+		y := b[i]
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	// sqrt(na)*sqrt(nb) instead of sqrt(na*nb): the product of the squared
+	// norms overflows at half the exponent range the factors do.
+	c := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	return clamp(c, -1, 1)
+}
+
+// CosChecked is Cos with an error instead of a panic on length mismatch.
+func CosChecked(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	return Cos(a, b), nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Stats holds the summary statistics of a sample used by the evaluation
+// harness (Table III reports STD and MAX of LORA's absolute errors;
+// Table II reports the MAE).
+type Stats struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes Stats over xs. The Std is the population standard
+// deviation (the paper reports spread of per-query errors, not an estimator
+// of a larger population). An empty sample yields a zero Stats.
+func Summarize(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	st := Stats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < st.Min {
+			st.Min = x
+		}
+		if x > st.Max {
+			st.Max = x
+		}
+	}
+	st.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - st.Mean
+		ss += d * d
+	}
+	st.Std = math.Sqrt(ss / float64(len(xs)))
+	return st
+}
+
+// MAE returns the mean absolute difference between parallel samples a and b.
+func MAE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a)), nil
+}
+
+// AbsErrors returns the element-wise absolute differences |a[i]-b[i]|.
+func AbsErrors(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, ErrLengthMismatch
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = math.Abs(a[i] - b[i])
+	}
+	return out, nil
+}

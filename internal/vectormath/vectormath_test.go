@@ -1,0 +1,175 @@
+package vectormath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil,nil) = %g", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot should panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm = %g", got)
+	}
+}
+
+func TestCosKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 1},
+		{[]float64{1, 0}, []float64{0, 1}, 0},
+		{[]float64{1, 1}, []float64{1, 1}, 1},
+		{[]float64{1, 2, 3}, []float64{2, 4, 6}, 1}, // scale invariance
+		{[]float64{1, 0}, []float64{-1, 0}, -1},
+		{[]float64{0, 0}, []float64{1, 2}, 0}, // zero vs non-zero
+		{[]float64{0, 0}, []float64{0, 0}, 1}, // both zero
+		{[]float64{}, []float64{}, 1},         // empty
+	}
+	for _, c := range cases {
+		if got := Cos(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Cos(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCosChecked(t *testing.T) {
+	if _, err := CosChecked([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("CosChecked error = %v, want ErrLengthMismatch", err)
+	}
+	if got, err := CosChecked([]float64{1, 0}, []float64{1, 0}); err != nil || got != 1 {
+		t.Errorf("CosChecked = %g, %v", got, err)
+	}
+}
+
+// Cosine of non-negative vectors is in [0,1] — the invariant the attribute
+// similarity model depends on.
+func TestCosNonNegativeRangeProperty(t *testing.T) {
+	f := func(raw [6]float64) bool {
+		a := make([]float64, 3)
+		b := make([]float64, 3)
+		for i := 0; i < 3; i++ {
+			a[i] = bounded(raw[i])
+			b[i] = bounded(raw[i+3])
+		}
+		c := Cos(a, b)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosSymmetricProperty(t *testing.T) {
+	f := func(raw [8]float64) bool {
+		a := make([]float64, 4)
+		b := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			a[i] = bounded(raw[i])
+			b[i] = bounded(raw[i+4])
+		}
+		return Cos(a, b) == Cos(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bounded maps an arbitrary quick-generated float into the non-negative,
+// overflow-safe attribute domain this system validates its inputs into.
+func bounded(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(x, 1e6))
+}
+
+func TestCosScaleInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		b := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		s := rng.Float64()*10 + 0.1
+		scaled := []float64{a[0] * s, a[1] * s, a[2] * s}
+		if !almostEq(Cos(a, b), Cos(scaled, b), 1e-9) {
+			t.Fatalf("cosine not scale invariant: %v vs %v", Cos(a, b), Cos(scaled, b))
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{1, 2, 3, 4})
+	if st.N != 4 {
+		t.Errorf("N = %d", st.N)
+	}
+	if !almostEq(st.Mean, 2.5, 1e-12) {
+		t.Errorf("Mean = %g", st.Mean)
+	}
+	if st.Min != 1 || st.Max != 4 {
+		t.Errorf("Min/Max = %g/%g", st.Min, st.Max)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	if !almostEq(st.Std, wantStd, 1e-12) {
+		t.Errorf("Std = %g, want %g", st.Std, wantStd)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	st := Summarize([]float64{7})
+	if st.Mean != 7 || st.Std != 0 || st.Min != 7 || st.Max != 7 {
+		t.Errorf("Summarize single = %+v", st)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, 2, 3}, []float64{1.5, 1.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, (0.5+0.5+0)/3, 1e-12) {
+		t.Errorf("MAE = %g", got)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("MAE mismatch error = %v", err)
+	}
+	if got, err := MAE(nil, nil); err != nil || got != 0 {
+		t.Errorf("MAE(nil,nil) = %g, %v", got, err)
+	}
+}
+
+func TestAbsErrors(t *testing.T) {
+	es, err := AbsErrors([]float64{1, 5}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es[0] != 1 || es[1] != 2 {
+		t.Errorf("AbsErrors = %v", es)
+	}
+	if _, err := AbsErrors([]float64{1}, nil); err != ErrLengthMismatch {
+		t.Errorf("AbsErrors mismatch error = %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+)
+
+// Query sets serialise as JSON Lines (one query per line) so huge
+// workloads stream without holding the encoder state, and diffs stay
+// line-oriented. Custom metrics are not serialisable and are rejected.
+
+// persistedQuery is the JSON shape of one query.
+type persistedQuery struct {
+	Variant    string       `json:"variant"`
+	K          int          `json:"k"`
+	Alpha      float64      `json:"alpha"`
+	Beta       float64      `json:"beta"`
+	GridD      int          `json:"grid_d"`
+	Xi         int          `json:"xi"`
+	Categories []string     `json:"categories"`
+	Locations  [][2]float64 `json:"locations"`
+	Attrs      [][]float64  `json:"attrs"`
+	Fixed      [][2]int64   `json:"fixed,omitempty"` // (dim, object position)
+	SkipPairs  [][2]int     `json:"skip_pairs,omitempty"`
+}
+
+func variantName(v query.Variant) string {
+	switch v {
+	case query.SEQ:
+		return "seq"
+	case query.CSEQFP:
+		return "cseq-fp"
+	default:
+		return "cseq"
+	}
+}
+
+func variantFromName(s string) (query.Variant, error) {
+	switch s {
+	case "seq":
+		return query.SEQ, nil
+	case "cseq-fp":
+		return query.CSEQFP, nil
+	case "cseq", "":
+		return query.CSEQ, nil
+	default:
+		return query.CSEQ, fmt.Errorf("workload: unknown variant %q", s)
+	}
+}
+
+// Save writes the query set as JSON Lines. Queries with a custom Metric
+// are rejected (metrics have no canonical serialisation).
+func Save(w io.Writer, ds *dataset.Dataset, queries []*query.Query) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, q := range queries {
+		if q.Example.Metric != nil {
+			return fmt.Errorf("workload: query %d carries a custom metric and cannot be serialised", i)
+		}
+		pq := persistedQuery{
+			Variant:   variantName(q.Variant),
+			K:         q.Params.K,
+			Alpha:     q.Params.Alpha,
+			Beta:      q.Params.Beta,
+			GridD:     q.Params.GridD,
+			Xi:        q.Params.Xi,
+			SkipPairs: q.Example.SkipPairs,
+		}
+		for d := 0; d < q.Example.M(); d++ {
+			pq.Categories = append(pq.Categories, ds.CategoryName(q.Example.Categories[d]))
+			loc := q.Example.Locations[d]
+			pq.Locations = append(pq.Locations, [2]float64{loc.X, loc.Y})
+			pq.Attrs = append(pq.Attrs, q.Example.Attrs[d])
+		}
+		for _, f := range q.Example.Fixed {
+			pq.Fixed = append(pq.Fixed, [2]int64{int64(f.Dim), int64(f.Obj)})
+		}
+		if err := enc.Encode(&pq); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses a query set saved by Save and re-validates every query
+// against ds (category names must resolve; pinned positions must exist).
+func Load(r io.Reader, ds *dataset.Dataset) ([]*query.Query, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []*query.Query
+	for i := 0; ; i++ {
+		var pq persistedQuery
+		if err := dec.Decode(&pq); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: decoding query %d: %w", i, err)
+		}
+		variant, err := variantFromName(pq.Variant)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i, err)
+		}
+		q := &query.Query{
+			Variant: variant,
+			Params: query.Params{
+				K: pq.K, Alpha: pq.Alpha, Beta: pq.Beta, GridD: pq.GridD, Xi: pq.Xi,
+			},
+		}
+		if len(pq.Categories) != len(pq.Locations) || len(pq.Categories) != len(pq.Attrs) {
+			return nil, fmt.Errorf("workload: query %d has inconsistent dimensions", i)
+		}
+		for d, name := range pq.Categories {
+			cat, ok := ds.CategoryByName(name)
+			if !ok {
+				return nil, fmt.Errorf("workload: query %d references unknown category %q", i, name)
+			}
+			q.Example.Categories = append(q.Example.Categories, cat)
+			q.Example.Locations = append(q.Example.Locations, geo.Point{X: pq.Locations[d][0], Y: pq.Locations[d][1]})
+			q.Example.Attrs = append(q.Example.Attrs, pq.Attrs[d])
+		}
+		for _, f := range pq.Fixed {
+			q.Example.Fixed = append(q.Example.Fixed, query.FixedPoint{Dim: int(f[0]), Obj: int32(f[1])})
+		}
+		q.Example.SkipPairs = pq.SkipPairs
+		if err := q.Validate(ds); err != nil {
+			return nil, fmt.Errorf("workload: query %d invalid against this dataset: %w", i, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// SaveFile writes the query set to path.
+func SaveFile(path string, ds *dataset.Dataset, queries []*query.Query) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, ds, queries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile parses a query set from path.
+func LoadFile(path string, ds *dataset.Dataset) ([]*query.Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, ds)
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+	"spatialseq/internal/testutil"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	ds := testutil.RandDataset(rng, 300, 4, 4, 100)
+	qs, err := Generate(ds, Config{
+		Count: 8, M: 3, Mode: Random, Params: baseParams(),
+		Variant: query.CSEQFP, FixedDims: []int{1}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs[0].Example.SkipPairs = [][2]int{{0, 2}}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, ds, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("round trip count = %d, want %d", len(got), len(qs))
+	}
+	for i := range qs {
+		a, b := qs[i], got[i]
+		if a.Variant != b.Variant {
+			t.Errorf("query %d variant diverged", i)
+		}
+		if a.Params != b.Params {
+			t.Errorf("query %d params diverged: %+v vs %+v", i, a.Params, b.Params)
+		}
+		for d := 0; d < a.Example.M(); d++ {
+			if a.Example.Categories[d] != b.Example.Categories[d] {
+				t.Errorf("query %d dim %d category diverged", i, d)
+			}
+			if a.Example.Locations[d] != b.Example.Locations[d] {
+				t.Errorf("query %d dim %d location diverged", i, d)
+			}
+		}
+		if len(a.Example.Fixed) != len(b.Example.Fixed) {
+			t.Errorf("query %d pins diverged", i)
+		}
+	}
+	if len(got[0].Example.SkipPairs) != 1 {
+		t.Error("skip pairs lost in round trip")
+	}
+}
+
+func TestSaveRejectsMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	ds := testutil.RandDataset(rng, 50, 2, 4, 100)
+	qs, err := Generate(ds, Config{Count: 1, M: 2, Mode: Random, Params: baseParams(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs[0].Example.Metric = fakeMetric{}
+	var buf bytes.Buffer
+	if err := Save(&buf, ds, qs); err == nil {
+		t.Error("metric queries must not serialise")
+	}
+}
+
+type fakeMetric struct{}
+
+func (fakeMetric) Dist(a, b geo.Point) float64 { return a.Dist(b) }
+func (fakeMetric) DominatesEuclidean() bool    { return true }
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	ds := testutil.RandDataset(rng, 50, 2, 4, 100)
+	cases := []string{
+		"{broken",
+		`{"variant":"zzz","categories":["cat-0","cat-1"],"locations":[[0,0],[1,1]],"attrs":[[1,1,1,1],[1,1,1,1]],"k":3,"alpha":0.5,"beta":2,"grid_d":4,"xi":10}`,
+		`{"variant":"cseq","categories":["nope","cat-1"],"locations":[[0,0],[1,1]],"attrs":[[1,1,1,1],[1,1,1,1]],"k":3,"alpha":0.5,"beta":2,"grid_d":4,"xi":10}`,
+		`{"variant":"cseq","categories":["cat-0"],"locations":[[0,0],[1,1]],"attrs":[[1,1,1,1]],"k":3,"alpha":0.5,"beta":2,"grid_d":4,"xi":10}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c), ds); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestLoadCrossDataset(t *testing.T) {
+	// a workload saved against one dataset must re-validate against the
+	// target; here the pinned position exceeds the smaller dataset
+	rng := rand.New(rand.NewSource(184))
+	big := testutil.RandDataset(rng, 300, 2, 4, 100)
+	qs, err := Generate(big, Config{
+		Count: 1, M: 2, Mode: Random, Params: baseParams(),
+		Variant: query.CSEQFP, FixedDims: []int{0}, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// force a pin near the end of the big dataset
+	qs[0].Example.Fixed[0].Obj = int32(big.Len() - 1)
+	qs[0].Example.Categories[0] = big.Object(big.Len() - 1).Category
+	qs[0].Example.Locations[0] = big.Object(big.Len() - 1).Loc
+
+	var buf bytes.Buffer
+	if err := Save(&buf, big, qs); err != nil {
+		t.Fatal(err)
+	}
+	small := testutil.RandDataset(rand.New(rand.NewSource(185)), 10, 2, 4, 100)
+	if _, err := Load(&buf, small); err == nil {
+		t.Error("loading against an incompatible dataset should fail")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(186))
+	ds := testutil.RandDataset(rng, 100, 3, 4, 100)
+	qs, err := Generate(ds, Config{Count: 3, M: 2, Mode: Random, Params: baseParams(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "queries.jsonl")
+	if err := SaveFile(path, ds, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("loaded %d queries", len(got))
+	}
+	if _, err := LoadFile(path+".missing", ds); err == nil {
+		t.Error("missing file should error")
+	}
+}

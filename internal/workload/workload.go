@@ -1,0 +1,241 @@
+// Package workload generates the query sets of the paper's evaluation
+// (Section IV, "Queries"): for each test, 100 example queries whose objects
+// carry categories, locations and attribute profiles drawn from the
+// dataset.
+//
+// Two drawing modes mirror the paper:
+//
+//   - Random (Yelp mode): example objects are sampled uniformly from the
+//     dataset — appropriate for a small spatial extent.
+//   - DistanceBounded (Gaode mode): the example objects are drawn from a
+//     bounded window so the examples stay meaningful on a metropolitan
+//     extent; the window size controls the example scale ||V_t*|| (and is
+//     the knob behind the Fig. 9(f) scale sweep).
+//
+// Examples are built from real dataset objects (their category, location
+// and attributes), so a query always has at least one perfect-attribute
+// candidate per dimension — the same property real user examples have when
+// "the example is available in hand from the user's experience".
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+)
+
+// Mode selects how example objects are drawn.
+type Mode int
+
+const (
+	// Random draws example objects uniformly (Yelp-style).
+	Random Mode = iota
+	// DistanceBounded draws example objects within a window of Scale
+	// kilometres (Gaode-style).
+	DistanceBounded
+)
+
+// Config controls a generated query set.
+type Config struct {
+	// Count is the number of queries (paper: 100).
+	Count int
+	// M is the tuple size (paper default 3).
+	M int
+	// Mode selects the drawing strategy.
+	Mode Mode
+	// Scale is the window side for DistanceBounded mode, in the dataset's
+	// coordinate unit. Ignored by Random mode.
+	Scale float64
+	// Params are attached to every query.
+	Params query.Params
+	// Variant is attached to every query. For CSEQFP, FixedDims chooses
+	// which dimensions are pinned to the drawn example objects.
+	Variant query.Variant
+	// FixedDims lists dimensions pinned to the drawn objects (CSEQ-FP).
+	FixedDims []int
+	// AttrJitter perturbs the drawn objects' attribute vectors with
+	// uniform noise of this magnitude (clamped to stay non-negative).
+	// Real users state *desired* attributes in the example panel rather
+	// than copying an existing object verbatim; jitter models that, and
+	// it removes the artificial perfect-match candidate a verbatim draw
+	// would plant in every query. Zero disables it.
+	AttrJitter float64
+	// LocJitter displaces each drawn location by up to this distance in
+	// each axis (uniform). Users compose examples by clicking map
+	// positions (paper Fig. 2), so example geometry generally cannot be
+	// matched exactly by any real tuple — which is precisely what keeps
+	// the exact algorithms' thresholds below their optimistic bounds.
+	// Zero disables it.
+	LocJitter float64
+	// Seed drives the draw.
+	Seed int64
+}
+
+// Generate draws a query set against ds. Dimensions are assigned the
+// categories of the drawn objects, so every query is satisfiable by
+// construction (the example objects themselves form one candidate tuple,
+// possibly among many).
+func Generate(ds *dataset.Dataset, cfg Config) ([]*query.Query, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("workload: empty dataset")
+	}
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("workload: Count must be positive, got %d", cfg.Count)
+	}
+	if cfg.M < 2 {
+		return nil, fmt.Errorf("workload: M must be >= 2, got %d", cfg.M)
+	}
+	if cfg.Mode == DistanceBounded && cfg.Scale <= 0 {
+		return nil, fmt.Errorf("workload: DistanceBounded mode needs a positive Scale")
+	}
+	for _, d := range cfg.FixedDims {
+		if d < 0 || d >= cfg.M {
+			return nil, fmt.Errorf("workload: fixed dim %d out of range [0,%d)", d, cfg.M)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queries := make([]*query.Query, 0, cfg.Count)
+	const maxAttempts = 200
+	for len(queries) < cfg.Count {
+		q, ok := draw(ds, cfg, rng)
+		if !ok {
+			return nil, fmt.Errorf("workload: could not draw a query after %d attempts (scale %g too small?)", maxAttempts, cfg.Scale)
+		}
+		queries = append(queries, q)
+	}
+	return queries, nil
+}
+
+func draw(ds *dataset.Dataset, cfg Config, rng *rand.Rand) (*query.Query, bool) {
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		positions, ok := drawPositions(ds, cfg, rng)
+		if !ok {
+			continue
+		}
+		ex := query.Example{
+			Categories: make([]dataset.CategoryID, cfg.M),
+			Locations:  make([]geo.Point, cfg.M),
+			Attrs:      make([][]float64, cfg.M),
+		}
+		for d, pos := range positions {
+			o := ds.Object(int(pos))
+			ex.Categories[d] = o.Category
+			ex.Locations[d] = o.Loc
+			if cfg.LocJitter > 0 {
+				ex.Locations[d].X += (rng.Float64()*2 - 1) * cfg.LocJitter
+				ex.Locations[d].Y += (rng.Float64()*2 - 1) * cfg.LocJitter
+			}
+			attr := make([]float64, len(o.Attr))
+			copy(attr, o.Attr)
+			if cfg.AttrJitter > 0 {
+				for i := range attr {
+					attr[i] += (rng.Float64()*2 - 1) * cfg.AttrJitter
+					if attr[i] < 0.01 {
+						attr[i] = 0.01
+					}
+				}
+			}
+			ex.Attrs[d] = attr
+		}
+		// A degenerate example (zero norm) breaks the similarity model;
+		// redraw.
+		if ex.Norm() == 0 {
+			continue
+		}
+		for _, d := range cfg.FixedDims {
+			ex.Fixed = append(ex.Fixed, query.FixedPoint{Dim: d, Obj: positions[d]})
+		}
+		q := &query.Query{Variant: cfg.Variant, Example: ex, Params: cfg.Params}
+		if err := q.Validate(ds); err != nil {
+			continue
+		}
+		return q, true
+	}
+	return nil, false
+}
+
+// drawPositions picks cfg.M distinct objects according to the mode.
+func drawPositions(ds *dataset.Dataset, cfg Config, rng *rand.Rand) ([]int32, bool) {
+	switch cfg.Mode {
+	case Random:
+		if ds.Len() < cfg.M {
+			return nil, false
+		}
+		seen := make(map[int32]bool, cfg.M)
+		out := make([]int32, 0, cfg.M)
+		for len(out) < cfg.M {
+			p := int32(rng.Intn(ds.Len()))
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+		return out, true
+	case DistanceBounded:
+		// anchor on a random object, then collect distinct objects inside
+		// the window centred on it.
+		anchor := ds.Object(rng.Intn(ds.Len()))
+		half := cfg.Scale / 2
+		win := geo.Rect{
+			MinX: anchor.Loc.X - half, MinY: anchor.Loc.Y - half,
+			MaxX: anchor.Loc.X + half, MaxY: anchor.Loc.Y + half,
+		}
+		var inWin []int32
+		for i := 0; i < ds.Len(); i++ {
+			if win.Contains(ds.Object(i).Loc) {
+				inWin = append(inWin, int32(i))
+			}
+		}
+		if len(inWin) < cfg.M {
+			return nil, false
+		}
+		rng.Shuffle(len(inWin), func(i, j int) { inWin[i], inWin[j] = inWin[j], inWin[i] })
+		return inWin[:cfg.M], true
+	default:
+		return nil, false
+	}
+}
+
+// ScaledExamples draws query sets whose example norms land near the given
+// target scales (the Fig. 9(f) sweep): for each target it uses
+// DistanceBounded mode with a window proportional to the target and keeps
+// queries whose ||V_t*|| falls within [0.5, 1.5]x the target.
+func ScaledExamples(ds *dataset.Dataset, count, m int, params query.Params, targets []float64, seed int64) (map[float64][]*query.Query, error) {
+	out := make(map[float64][]*query.Query, len(targets))
+	rng := rand.New(rand.NewSource(seed))
+	for _, target := range targets {
+		if target <= 0 {
+			return nil, fmt.Errorf("workload: scale target must be positive, got %g", target)
+		}
+		cfg := Config{
+			Count:  count, // drawn below; Config reused for its fields
+			M:      m,
+			Mode:   DistanceBounded,
+			Scale:  target, // window side ~ target scale
+			Params: params,
+		}
+		var qs []*query.Query
+		attempts := 0
+		for len(qs) < count && attempts < count*500 {
+			attempts++
+			q, ok := draw(ds, cfg, rng)
+			if !ok {
+				break
+			}
+			n := q.Example.Norm()
+			if n >= 0.5*target && n <= 1.5*target*float64(m) {
+				qs = append(qs, q)
+			}
+		}
+		if len(qs) < count {
+			return nil, fmt.Errorf("workload: only drew %d/%d queries at scale %g", len(qs), count, target)
+		}
+		out[target] = qs
+	}
+	return out, nil
+}

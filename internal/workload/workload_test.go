@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+	"spatialseq/internal/testutil"
+)
+
+func baseParams() query.Params {
+	return query.Params{K: 5, Alpha: 0.5, Beta: 1.5, GridD: 5, Xi: 10}
+}
+
+func TestGenerateRandomMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	ds := testutil.RandDataset(rng, 500, 4, 4, 100)
+	qs, err := Generate(ds, Config{Count: 25, M: 3, Mode: Random, Params: baseParams(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 25 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if err := q.Validate(ds); err != nil {
+			t.Errorf("query %d invalid: %v", i, err)
+		}
+		if q.Example.M() != 3 {
+			t.Errorf("query %d has m=%d", i, q.Example.M())
+		}
+		if q.Example.Norm() == 0 {
+			t.Errorf("query %d has degenerate example", i)
+		}
+	}
+}
+
+func TestGenerateDistanceBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	ds := testutil.RandDataset(rng, 2000, 4, 4, 200)
+	scale := 25.0
+	qs, err := Generate(ds, Config{Count: 20, M: 3, Mode: DistanceBounded, Scale: scale, Params: baseParams(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		// all example objects within a scale-sized window
+		r := geo.RectFromPoints(q.Example.Locations)
+		if r.Width() > scale+1e-9 || r.Height() > scale+1e-9 {
+			t.Errorf("query %d example spans %gx%g, exceeds window %g", i, r.Width(), r.Height(), scale)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ds := testutil.RandDataset(rng, 500, 4, 4, 100)
+	cfg := Config{Count: 10, M: 3, Mode: Random, Params: baseParams(), Seed: 9}
+	a, err := Generate(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for d := 0; d < a[i].Example.M(); d++ {
+			if a[i].Example.Locations[d] != b[i].Example.Locations[d] {
+				t.Fatal("same seed must yield the same workload")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	ds := testutil.RandDataset(rng, 50, 2, 4, 100)
+	bad := []Config{
+		{Count: 0, M: 3, Params: baseParams()},
+		{Count: 5, M: 1, Params: baseParams()},
+		{Count: 5, M: 3, Mode: DistanceBounded, Scale: 0, Params: baseParams()},
+		{Count: 5, M: 3, FixedDims: []int{7}, Params: baseParams()},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(ds, cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestGenerateFixedDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ds := testutil.RandDataset(rng, 800, 3, 4, 100)
+	qs, err := Generate(ds, Config{
+		Count: 10, M: 5, Mode: Random, Params: baseParams(),
+		Variant: query.CSEQFP, FixedDims: []int{0, 2}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if q.Variant != query.CSEQFP {
+			t.Errorf("query %d variant = %v", i, q.Variant)
+		}
+		if len(q.Example.Fixed) != 2 {
+			t.Errorf("query %d has %d pins", i, len(q.Example.Fixed))
+		}
+		for _, f := range q.Example.Fixed {
+			obj := ds.Object(int(f.Obj))
+			if obj.Category != q.Example.Categories[f.Dim] {
+				t.Errorf("query %d pin category mismatch", i)
+			}
+			if obj.Loc != q.Example.Locations[f.Dim] {
+				t.Errorf("query %d pin must be the drawn example object", i)
+			}
+		}
+	}
+}
+
+func TestScaledExamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	ds := testutil.RandDataset(rng, 5000, 3, 4, 200)
+	targets := []float64{5, 20, 60}
+	sets, err := ScaledExamples(ds, 8, 3, baseParams(), targets, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevMean float64
+	for _, target := range targets {
+		qs := sets[target]
+		if len(qs) != 8 {
+			t.Fatalf("target %g: %d queries", target, len(qs))
+		}
+		var mean float64
+		for _, q := range qs {
+			n := q.Example.Norm()
+			if n < 0.5*target || n > 1.5*target*3 {
+				t.Errorf("target %g: norm %g outside tolerance", target, n)
+			}
+			mean += n
+		}
+		mean /= float64(len(qs))
+		if mean <= prevMean {
+			t.Errorf("mean norm should grow with the target: %g after %g", mean, prevMean)
+		}
+		prevMean = mean
+	}
+	if _, err := ScaledExamples(ds, 5, 3, baseParams(), []float64{-1}, 1); err == nil {
+		t.Error("negative target should be rejected")
+	}
+}
+
+func TestGenerateEmptyDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	_ = rng
+	ds := testutil.RandDataset(rand.New(rand.NewSource(58)), 1, 1, 2, 10)
+	// m=2 on a 1-object dataset can never draw distinct points
+	if _, err := Generate(ds, Config{Count: 1, M: 2, Mode: Random, Params: baseParams()}); err == nil {
+		t.Error("impossible draw should be reported")
+	}
+}

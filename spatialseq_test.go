@@ -1,0 +1,79 @@
+package spatialseq_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"spatialseq"
+)
+
+// The root package is a façade of type aliases; this test exercises the
+// complete public workflow end-to-end the way README's quickstart does.
+func TestPublicAPIWorkflow(t *testing.T) {
+	ds, err := spatialseq.Generate(spatialseq.GaodeLike(2000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2000 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+
+	// round trip through CSV
+	path := t.TempDir() + "/city.csv"
+	if err := spatialseq.WriteDatasetFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := spatialseq.ReadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ds.Len() {
+		t.Fatalf("round trip lost objects: %d", loaded.Len())
+	}
+
+	eng := spatialseq.NewEngine(loaded)
+	a, b, c := loaded.Object(0), loaded.Object(10), loaded.Object(20)
+	q := &spatialseq.Query{
+		Variant: spatialseq.CSEQ,
+		Example: spatialseq.Example{
+			Categories: []spatialseq.CategoryID{a.Category, b.Category, c.Category},
+			Locations:  []spatialseq.Point{a.Loc, b.Loc, c.Loc},
+			Attrs:      [][]float64{a.Attr, b.Attr, c.Attr},
+		},
+		Params: spatialseq.DefaultParams(),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, algo := range []spatialseq.Algorithm{spatialseq.HSP, spatialseq.LORA, spatialseq.DFSPrune} {
+		qq := *q
+		res, err := eng.Search(ctx, &qq, algo, spatialseq.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(res.Tuples) == 0 {
+			t.Fatalf("%v: no results", algo)
+		}
+		// the example was built from real dataset objects, so a perfect
+		// match exists and must rank first
+		if res.Tuples[0].Sim < 0.9999 {
+			t.Errorf("%v: top result sim = %g, expected the example itself (~1)", algo, res.Tuples[0].Sim)
+		}
+	}
+}
+
+func TestParseAlgorithmFacade(t *testing.T) {
+	a, err := spatialseq.ParseAlgorithm("lora")
+	if err != nil || a != spatialseq.LORA {
+		t.Fatalf("ParseAlgorithm = %v, %v", a, err)
+	}
+}
+
+func TestMustGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate should panic on an invalid config")
+		}
+	}()
+	spatialseq.MustGenerate(spatialseq.SynthConfig{})
+}
