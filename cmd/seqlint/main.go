@@ -1,0 +1,72 @@
+// Command seqlint runs this repository's static-analysis suite over the
+// given package patterns (default ./...) and exits non-zero on any
+// finding. It is dependency-free: the analyzers live in internal/lint
+// and use only go/ast, go/parser, go/token, and go/types; package
+// metadata comes from `go list` (no network).
+//
+// Usage:
+//
+//	seqlint [-layers policy-file] [packages...]
+//
+// Analyzers: floatcmp, syncmisuse, layering, panicfree, errdrop.
+// Suppress a finding with a justified comment on, or directly above,
+// the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spatialseq/internal/lint"
+)
+
+func main() {
+	layersFlag := flag.String("layers", "", "layer policy file (default <module root>/seqlint.layers)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: seqlint [-layers policy-file] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(*layersFlag, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "seqlint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(layersFile string, patterns []string) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	modPath, modRoot, err := lint.Module(cwd)
+	if err != nil {
+		return err
+	}
+	if layersFile == "" {
+		layersFile = filepath.Join(modRoot, "seqlint.layers")
+	}
+	rules, err := lint.LoadLayerPolicy(layersFile)
+	if err != nil {
+		return fmt.Errorf("loading layer policy: %v", err)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		return err
+	}
+	diags := lint.Run(pkgs, lint.Default(modPath, rules))
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "seqlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}

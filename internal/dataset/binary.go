@@ -210,7 +210,7 @@ func WriteBinaryFile(path string, d *Dataset) error {
 		return err
 	}
 	if err := WriteBinary(f, d); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

@@ -124,7 +124,7 @@ func WriteFile(path string, d *Dataset) error {
 		return err
 	}
 	if err := WriteCSV(f, d); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

@@ -127,8 +127,9 @@ func fmtSpeedup(base, fast *AlgoRun, budget time.Duration) string {
 // exact results and its speedup over DFS-Prune.
 func Table2(ctx context.Context, w io.Writer, f Family, cfg Config) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Table II (%s-like): per-query cost and LORA accuracy\n", f)
-	fmt.Fprintln(tw, "#POIs\tDFS-Prune\tHSP\tLORA\tLORA MAE\tLORA Speedup")
+	rp := &report{}
+	rp.printf(w, "Table II (%s-like): per-query cost and LORA accuracy\n", f)
+	rp.println(tw, "#POIs\tDFS-Prune\tHSP\tLORA\tLORA MAE\tLORA Speedup")
 	for _, n := range cfg.Sizes {
 		ds, err := familyDataset(f, n, cfg.Seed)
 		if err != nil {
@@ -147,22 +148,23 @@ func Table2(ctx context.Context, w io.Writer, f Family, cfg Config) error {
 			st := ErrorStats(hsp, lora)
 			mae = fmt.Sprintf("%.5f", st.Mean)
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\n",
+		rp.printf(tw, "%d\t%s\t%s\t%s\t%s\t%s\n",
 			n, fmtTime(dfs, cfg.Budget), fmtTime(hsp, cfg.Budget), fmtTime(lora, cfg.Budget),
 			mae, fmtSpeedup(dfs, lora, cfg.Budget))
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 	}
-	return tw.Flush()
+	return rp.flush(tw)
 }
 
 // Table3 reproduces Table III: the STD and MAX of LORA's similarity errors
 // against the exact results, per dataset size.
 func Table3(ctx context.Context, w io.Writer, f Family, cfg Config) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Table III (%s-like): LORA worst-case error statistics\n", f)
-	fmt.Fprintln(tw, "#POIs\tMAE\tSTD\tMAX")
+	rp := &report{}
+	rp.printf(w, "Table III (%s-like): LORA worst-case error statistics\n", f)
+	rp.println(tw, "#POIs\tMAE\tSTD\tMAX")
 	for _, n := range cfg.Sizes {
 		ds, err := familyDataset(f, n, cfg.Seed)
 		if err != nil {
@@ -176,16 +178,16 @@ func Table3(ctx context.Context, w io.Writer, f Family, cfg Config) error {
 		hsp := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
 		lora := RunQueries(ctx, eng, queries, core.LORA, core.Options{}, cfg.Budget)
 		if hsp.Completed() == 0 || lora.Completed() == 0 {
-			fmt.Fprintf(tw, "%d\t-\t-\t-\n", n)
+			rp.printf(tw, "%d\t-\t-\t-\n", n)
 			continue
 		}
 		st := ErrorStats(hsp, lora)
-		fmt.Fprintf(tw, "%d\t%.5f\t%.5f\t%.5f\n", n, st.Mean, st.Std, st.Max)
+		rp.printf(tw, "%d\t%.5f\t%.5f\t%.5f\n", n, st.Mean, st.Std, st.Max)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 	}
-	return tw.Flush()
+	return rp.flush(tw)
 }
 
 // sweepRow measures all three algorithms on one query set.
@@ -196,16 +198,17 @@ type sweepRow struct {
 	lora  *AlgoRun
 }
 
-func printSweep(w io.Writer, title string, rows []sweepRow, budget time.Duration) {
+func printSweep(w io.Writer, title string, rows []sweepRow, budget time.Duration) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, title)
-	fmt.Fprintln(tw, "param\tDFS-Prune t\tHSP t\tLORA t\tDFS-Prune sim\tHSP sim\tLORA sim")
+	rp := &report{}
+	rp.println(w, title)
+	rp.println(tw, "param\tDFS-Prune t\tHSP t\tLORA t\tDFS-Prune sim\tHSP sim\tLORA sim")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.4f\n",
+		rp.printf(tw, "%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.4f\n",
 			r.label, fmtTime(r.dfs, budget), fmtTime(r.hsp, budget), fmtTime(r.lora, budget),
 			r.dfs.AvgSim(), r.hsp.AvgSim(), r.lora.AvgSim())
 	}
-	tw.Flush()
+	return rp.flush(tw)
 }
 
 // runThree executes the three algorithms on one engine + query set.
@@ -232,10 +235,11 @@ func Fig9GridD(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ds
 	dfs := RunQueries(ctx, eng, queries, core.DFSPrune, core.Options{}, cfg.Budget)
 	hsp := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Fig 9(a) (%s-like, %d POIs): grid resolution sweep\n", f, n)
-	fmt.Fprintf(w, "references: DFS-Prune %s (sim %.4f), HSP %s (sim %.4f)\n",
+	rp := &report{}
+	rp.printf(w, "Fig 9(a) (%s-like, %d POIs): grid resolution sweep\n", f, n)
+	rp.printf(w, "references: DFS-Prune %s (sim %.4f), HSP %s (sim %.4f)\n",
 		fmtTime(dfs, cfg.Budget), dfs.AvgSim(), fmtTime(hsp, cfg.Budget), hsp.AvgSim())
-	fmt.Fprintln(tw, "D\tLORA t\tLORA sim")
+	rp.println(tw, "D\tLORA t\tLORA sim")
 	for _, d := range ds {
 		qcopy := make([]*query.Query, len(queries))
 		for i, q := range queries {
@@ -244,12 +248,12 @@ func Fig9GridD(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ds
 			qcopy[i] = &qq
 		}
 		lora := RunQueries(ctx, eng, qcopy, core.LORA, core.Options{}, cfg.Budget)
-		fmt.Fprintf(tw, "%d\t%s\t%.4f\n", d, fmtTime(lora, cfg.Budget), lora.AvgSim())
+		rp.printf(tw, "%d\t%s\t%.4f\n", d, fmtTime(lora, cfg.Budget), lora.AvgSim())
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 	}
-	return tw.Flush()
+	return rp.flush(tw)
 }
 
 // ParamSweep covers Fig. 9(c) alpha, Fig. 9(d) beta, and the technical
@@ -310,8 +314,7 @@ func Fig9Param(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ki
 			return err
 		}
 	}
-	printSweep(w, fmt.Sprintf("Fig 9 (%s-like, %d POIs): %s sweep", f, n, kind), rows, cfg.Budget)
-	return nil
+	return printSweep(w, fmt.Sprintf("Fig 9 (%s-like, %d POIs): %s sweep", f, n, kind), rows, cfg.Budget)
 }
 
 // Fig9Scale reproduces Fig. 9(f.*): performance versus the example scale
@@ -335,8 +338,7 @@ func Fig9Scale(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ta
 			return err
 		}
 	}
-	printSweep(w, fmt.Sprintf("Fig 9(f) (%s-like, %d POIs): example scale sweep", f, n), rows, cfg.Budget)
-	return nil
+	return printSweep(w, fmt.Sprintf("Fig 9(f) (%s-like, %d POIs): example scale sweep", f, n), rows, cfg.Budget)
 }
 
 // Fig10 reproduces the SEQ frontier: with beta=inf, LORA's (time,
@@ -356,10 +358,11 @@ func Fig10(ctx context.Context, w io.Writer, cfg Config, sizes []int, ds []int) 
 		}
 		eng := core.NewEngine(data)
 		dfs := RunQueries(ctx, eng, queries, core.DFSPrune, core.Options{}, cfg.Budget)
-		fmt.Fprintf(w, "Fig 10 (Gaode-like, %d POIs, SEQ): DFS-Prune %s (sim %.4f)\n",
+		rp := &report{}
+		rp.printf(w, "Fig 10 (Gaode-like, %d POIs, SEQ): DFS-Prune %s (sim %.4f)\n",
 			n, fmtTime(dfs, cfg.Budget), dfs.AvgSim())
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "D\tLORA t\tLORA sim")
+		rp.println(tw, "D\tLORA t\tLORA sim")
 		for _, d := range ds {
 			qcopy := make([]*query.Query, len(queries))
 			for i, q := range queries {
@@ -368,12 +371,14 @@ func Fig10(ctx context.Context, w io.Writer, cfg Config, sizes []int, ds []int) 
 				qcopy[i] = &qq
 			}
 			lora := RunQueries(ctx, eng, qcopy, core.LORA, core.Options{}, cfg.Budget)
-			fmt.Fprintf(tw, "%d\t%s\t%.4f\n", d, fmtTime(lora, cfg.Budget), lora.AvgSim())
+			rp.printf(tw, "%d\t%s\t%.4f\n", d, fmtTime(lora, cfg.Budget), lora.AvgSim())
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		tw.Flush()
+		if err := rp.flush(tw); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -383,8 +388,9 @@ func Fig10(ctx context.Context, w io.Writer, cfg Config, sizes []int, ds []int) 
 // shows the cell-norm filter taming the cell-tuple blowup at m=5.
 func Fig11(ctx context.Context, w io.Writer, cfg Config, sizes []int) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Fig 11 (Gaode-like, CSEQ-FP m=5, two pins)")
-	fmt.Fprintln(tw, "n\tDFS-Prune t\tHSP t\tLORA t\tLORA+A3 t\tDFS sim\tHSP sim\tLORA sim\tLORA+A3 sim")
+	rp := &report{}
+	rp.println(w, "Fig 11 (Gaode-like, CSEQ-FP m=5, two pins)")
+	rp.println(tw, "n\tDFS-Prune t\tHSP t\tLORA t\tLORA+A3 t\tDFS sim\tHSP sim\tLORA sim\tLORA+A3 sim")
 	for _, n := range sizes {
 		data, err := familyDataset(Gaode, n, cfg.Seed)
 		if err != nil {
@@ -402,7 +408,7 @@ func Fig11(ctx context.Context, w io.Writer, cfg Config, sizes []int) error {
 		eng := core.NewEngine(data)
 		row := runThree(ctx, eng, queries, c)
 		loraA3 := RunQueries(ctx, eng, queries, core.LORA, loraCellNorm(), cfg.Budget)
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
+		rp.printf(tw, "%d\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
 			n, fmtTime(row.dfs, cfg.Budget), fmtTime(row.hsp, cfg.Budget),
 			fmtTime(row.lora, cfg.Budget), fmtTime(loraA3, cfg.Budget),
 			row.dfs.AvgSim(), row.hsp.AvgSim(), row.lora.AvgSim(), loraA3.AvgSim())
@@ -410,7 +416,7 @@ func Fig11(ctx context.Context, w io.Writer, cfg Config, sizes []int) error {
 			return err
 		}
 	}
-	return tw.Flush()
+	return rp.flush(tw)
 }
 
 // AblationPartition isolates HSP's partitioning gain (A1): HSP with and
@@ -428,11 +434,12 @@ func AblationPartition(ctx context.Context, w io.Writer, f Family, n int, cfg Co
 	on := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
 	off := RunQueries(ctx, eng, queries, core.HSP, core.Options{HSP: hspNoPartition()}, cfg.Budget)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Ablation A1 (%s-like, %d POIs): HSP space partitioning\n", f, n)
-	fmt.Fprintln(tw, "variant\ttime\tsim")
-	fmt.Fprintf(tw, "partitioned\t%s\t%.4f\n", fmtTime(on, cfg.Budget), on.AvgSim())
-	fmt.Fprintf(tw, "whole-space\t%s\t%.4f\n", fmtTime(off, cfg.Budget), off.AvgSim())
-	return tw.Flush()
+	rp := &report{}
+	rp.printf(w, "Ablation A1 (%s-like, %d POIs): HSP space partitioning\n", f, n)
+	rp.println(tw, "variant\ttime\tsim")
+	rp.printf(tw, "partitioned\t%s\t%.4f\n", fmtTime(on, cfg.Budget), on.AvgSim())
+	rp.printf(tw, "whole-space\t%s\t%.4f\n", fmtTime(off, cfg.Budget), off.AvgSim())
+	return rp.flush(tw)
 }
 
 // AblationBounds isolates HSP's refined bounds (A4).
@@ -449,11 +456,12 @@ func AblationBounds(ctx context.Context, w io.Writer, f Family, n int, cfg Confi
 	refined := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
 	loose := RunQueries(ctx, eng, queries, core.HSP, core.Options{HSP: hspLooseBounds()}, cfg.Budget)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Ablation A4 (%s-like, %d POIs): HSP bound refinement\n", f, n)
-	fmt.Fprintln(tw, "variant\ttime\tsim")
-	fmt.Fprintf(tw, "refined (Eq6+Eq9)\t%s\t%.4f\n", fmtTime(refined, cfg.Budget), refined.AvgSim())
-	fmt.Fprintf(tw, "loose (DFS-Prune)\t%s\t%.4f\n", fmtTime(loose, cfg.Budget), loose.AvgSim())
-	return tw.Flush()
+	rp := &report{}
+	rp.printf(w, "Ablation A4 (%s-like, %d POIs): HSP bound refinement\n", f, n)
+	rp.println(tw, "variant\ttime\tsim")
+	rp.printf(tw, "refined (Eq6+Eq9)\t%s\t%.4f\n", fmtTime(refined, cfg.Budget), refined.AvgSim())
+	rp.printf(tw, "loose (DFS-Prune)\t%s\t%.4f\n", fmtTime(loose, cfg.Budget), loose.AvgSim())
+	return rp.flush(tw)
 }
 
 // AblationSampling compares query-dependent against random sampling across
@@ -465,8 +473,9 @@ func AblationSampling(ctx context.Context, w io.Writer, f Family, n int, cfg Con
 	}
 	eng := core.NewEngine(data)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Ablation A2 (%s-like, %d POIs): sampling strategy\n", f, n)
-	fmt.Fprintln(tw, "xi\tquery-dependent sim\trandom sim\tquery-dependent t\trandom t")
+	rp := &report{}
+	rp.printf(w, "Ablation A2 (%s-like, %d POIs): sampling strategy\n", f, n)
+	rp.println(tw, "xi\tquery-dependent sim\trandom sim\tquery-dependent t\trandom t")
 	for _, xi := range xis {
 		c := cfg
 		c.Params.Xi = xi
@@ -476,13 +485,13 @@ func AblationSampling(ctx context.Context, w io.Writer, f Family, n int, cfg Con
 		}
 		qd := RunQueries(ctx, eng, queries, core.LORA, core.Options{}, cfg.Budget)
 		rnd := RunQueries(ctx, eng, queries, core.LORA, loraRandom(cfg.Seed), cfg.Budget)
-		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%s\t%s\n",
+		rp.printf(tw, "%d\t%.4f\t%.4f\t%s\t%s\n",
 			xi, qd.AvgSim(), rnd.AvgSim(), fmtTime(qd, cfg.Budget), fmtTime(rnd, cfg.Budget))
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 	}
-	return tw.Flush()
+	return rp.flush(tw)
 }
 
 // AblationSortedBreak measures the sorted-break extension (A5): abandoning
@@ -499,8 +508,9 @@ func AblationSortedBreak(ctx context.Context, w io.Writer, f Family, n int, cfg 
 	}
 	eng := core.NewEngine(data)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Ablation A5 (%s-like, %d POIs): sorted-break extension\n", f, n)
-	fmt.Fprintln(tw, "variant\ttime\tsim")
+	rp := &report{}
+	rp.printf(w, "Ablation A5 (%s-like, %d POIs): sorted-break extension\n", f, n)
+	rp.println(tw, "variant\ttime\tsim")
 	for _, row := range []struct {
 		label string
 		algo  core.Algorithm
@@ -512,12 +522,12 @@ func AblationSortedBreak(ctx context.Context, w io.Writer, f Family, n int, cfg 
 		{"LORA + sorted break", core.LORA, loraSortedBreak()},
 	} {
 		r := RunQueries(ctx, eng, queries, row.algo, row.opt, cfg.Budget)
-		fmt.Fprintf(tw, "%s\t%s\t%.4f\n", row.label, fmtTime(r, cfg.Budget), r.AvgSim())
+		rp.printf(tw, "%s\t%s\t%.4f\n", row.label, fmtTime(r, cfg.Budget), r.AvgSim())
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 	}
-	return tw.Flush()
+	return rp.flush(tw)
 }
 
 // AblationCellNorm measures the optional cell-level norm filter (A3).
@@ -534,9 +544,10 @@ func AblationCellNorm(ctx context.Context, w io.Writer, f Family, n int, cfg Con
 	off := RunQueries(ctx, eng, queries, core.LORA, core.Options{}, cfg.Budget)
 	on := RunQueries(ctx, eng, queries, core.LORA, loraCellNorm(), cfg.Budget)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Ablation A3 (%s-like, %d POIs): LORA cell-level norm filter\n", f, n)
-	fmt.Fprintln(tw, "variant\ttime\tsim")
-	fmt.Fprintf(tw, "off (paper LORA)\t%s\t%.4f\n", fmtTime(off, cfg.Budget), off.AvgSim())
-	fmt.Fprintf(tw, "on\t%s\t%.4f\n", fmtTime(on, cfg.Budget), on.AvgSim())
-	return tw.Flush()
+	rp := &report{}
+	rp.printf(w, "Ablation A3 (%s-like, %d POIs): LORA cell-level norm filter\n", f, n)
+	rp.println(tw, "variant\ttime\tsim")
+	rp.printf(tw, "off (paper LORA)\t%s\t%.4f\n", fmtTime(off, cfg.Budget), off.AvgSim())
+	rp.printf(tw, "on\t%s\t%.4f\n", fmtTime(on, cfg.Budget), on.AvgSim())
+	return rp.flush(tw)
 }

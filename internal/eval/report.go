@@ -1,0 +1,36 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// report latches the first write error so the experiment drivers can
+// print a whole table and surface the error once at the end instead of
+// silently discarding every fmt.Fprintf result (seqlint: errdrop).
+type report struct {
+	err error
+}
+
+// printf formats to w unless an earlier write already failed.
+func (r *report) printf(w io.Writer, format string, args ...any) {
+	if r.err == nil {
+		_, r.err = fmt.Fprintf(w, format, args...)
+	}
+}
+
+// println writes to w unless an earlier write already failed.
+func (r *report) println(w io.Writer, args ...any) {
+	if r.err == nil {
+		_, r.err = fmt.Fprintln(w, args...)
+	}
+}
+
+// flush flushes the tabwriter and returns the sticky error.
+func (r *report) flush(tw *tabwriter.Writer) error {
+	if r.err == nil {
+		r.err = tw.Flush()
+	}
+	return r.err
+}

@@ -160,6 +160,7 @@ func (t *Tree) Nearest(q geo.Point, k int, filter func(ref int32) bool) []Neighb
 	s := &knnState{q: q, k: k, filter: filter}
 	s.visit(t, 0, len(t.pts), 0)
 	sort.Slice(s.best, func(i, j int) bool {
+		//lint:ignore floatcmp exact tie detection feeds the deterministic ref ordering
 		if s.best[i].Dist != s.best[j].Dist {
 			return s.best[i].Dist < s.best[j].Dist
 		}
@@ -215,6 +216,7 @@ func (s *knnState) offer(nb Neighbor) {
 	if nb.Dist > s.worst {
 		return
 	}
+	//lint:ignore floatcmp exact tie detection; epsilon would make results order-dependent
 	if nb.Dist == s.worst {
 		// deterministic tie handling: prefer the smaller ref
 		wi := s.worstIndex()
@@ -233,6 +235,7 @@ func (s *knnState) worstIndex() int {
 	wi := 0
 	for i, nb := range s.best {
 		w := s.best[wi]
+		//lint:ignore floatcmp exact tie detection feeds the deterministic ref ordering
 		if nb.Dist > w.Dist || (nb.Dist == w.Dist && nb.Ref > w.Ref) {
 			wi = i
 		}

@@ -1,0 +1,24 @@
+package lint
+
+// DefaultFloatCmpAllow is the approved epsilon-helper allowlist for the
+// floatcmp analyzer: functions whose whole job is classifying float
+// equality, where an exact comparison is the intended semantics. Keys
+// are "<package-rel>.<func>" (methods as "<package-rel>.<Type>.<func>").
+var DefaultFloatCmpAllow = map[string]bool{
+	// topk's tie-break: an exact similarity tie falls through to the
+	// deterministic tuple-identity ordering; epsilon would make result
+	// order depend on accumulation noise.
+	"internal/topk.beats": true,
+}
+
+// Default returns the full seqlint analyzer suite for the module at
+// modPath with the given layering policy.
+func Default(modPath string, rules []LayerRule) []*Analyzer {
+	return []*Analyzer{
+		FloatCmp(DefaultFloatCmpAllow),
+		SyncMisuse(),
+		Layering(modPath, rules),
+		PanicFree(),
+		ErrDrop(),
+	}
+}

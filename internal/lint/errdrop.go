@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop returns the errdrop analyzer: a call whose results include an
+// error, used as a bare statement in internal/ code, silently discards
+// that error. Assigning the error — even to _ — is an explicit,
+// greppable decision; dropping it on the floor is not.
+//
+// Writes into strings.Builder and bytes.Buffer are exempt: their Write*
+// methods are documented to always return a nil error (they grow the
+// buffer or panic on overflow), and that extends to fmt.Fprint* calls
+// whose destination is statically one of those types.
+func ErrDrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "flag silently discarded error results in internal/ code",
+		Run: func(pkg *Package) []Diagnostic {
+			if !hasPathPrefix(pkg.Rel, "internal") {
+				return nil
+			}
+			var diags []Diagnostic
+			inspect(pkg, func(n ast.Node) bool {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sig, ok := typeOf(pkg, call.Fun).(*types.Signature)
+				if !ok {
+					return true // conversion or built-in
+				}
+				if infallibleWrite(pkg, call, sig) {
+					return true
+				}
+				res := sig.Results()
+				for i := 0; i < res.Len(); i++ {
+					if isErrorType(res.At(i).Type()) {
+						diags = append(diags, Diagnostic{
+							Pos: position(pkg, es),
+							Message: fmt.Sprintf("result %d of %s is an error and is silently discarded; handle it or assign to _",
+								i, callName(call)),
+						})
+						break
+					}
+				}
+				return true
+			})
+			return diags
+		},
+	}
+}
+
+// infallibleWrite reports whether the call is a write into a
+// strings.Builder or bytes.Buffer, whose error results are always nil:
+// either a method on one of those types, or an fmt.Fprint* whose first
+// argument statically is one.
+func infallibleWrite(pkg *Package, call *ast.CallExpr, sig *types.Signature) bool {
+	if recv := sig.Recv(); recv != nil && isMemBuffer(recv.Type()) {
+		return true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") &&
+			len(call.Args) > 0 && isMemBuffer(typeOf(pkg, call.Args[0])) {
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok && isMemBuffer(s.Recv()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMemBuffer reports whether t (possibly behind a pointer) is
+// strings.Builder or bytes.Buffer.
+func isMemBuffer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return path == "strings" && name == "Builder" || path == "bytes" && name == "Buffer"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp returns the floatcmp analyzer: it forbids == and != between
+// floating-point operands in library code. The β-norm constraint and the
+// cosine pruning thresholds are accumulated in floating point, so exact
+// equality is almost always a bug; use an epsilon helper instead.
+//
+// Comparison against the constant zero is permitted: in this codebase a
+// zero float is a sentinel ("unset parameter", "empty rect", "zero
+// norm") or a division guard, and both demand exactness — a value within
+// epsilon of zero is still a perfectly valid divisor.
+//
+// allow lists approved epsilon helpers by "<package-rel>.<func>" (for
+// methods, "<package-rel>.<Type>.<method>"); exact comparison inside
+// those functions is the one place it is legitimate.
+func FloatCmp(allow map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "forbid exact ==/!= on floating-point values outside approved epsilon helpers",
+		Run: func(pkg *Package) []Diagnostic {
+			if !isLibrary(pkg.Rel) {
+				return nil
+			}
+			var diags []Diagnostic
+			eachFunc(pkg, func(fd *ast.FuncDecl) {
+				if allow[pkg.Rel+"."+funcName(fd)] {
+					return
+				}
+				ast.Inspect(fd, func(n ast.Node) bool {
+					be, ok := n.(*ast.BinaryExpr)
+					if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+						return true
+					}
+					if !isFloat(typeOf(pkg, be.X)) && !isFloat(typeOf(pkg, be.Y)) {
+						return true
+					}
+					if isZeroConst(pkg, be.X) || isZeroConst(pkg, be.Y) {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos: position(pkg, be),
+						Message: fmt.Sprintf(
+							"exact floating-point %s comparison; use an epsilon helper or //lint:ignore with justification",
+							be.Op),
+					})
+					return true
+				})
+			})
+			return diags
+		},
+	}
+}
+
+func typeOf(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isZeroConst reports whether e is a numeric constant equal to zero.
+func isZeroConst(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-file harness: fixture packages under testdata/src carry
+// "// want <analyzer> \"<regexp>\"" comments pinning each analyzer's
+// diagnostics. Every reported diagnostic must match a want on its line,
+// and every want must be reported.
+
+var wantRe = regexp.MustCompile(`// want ([a-z]+) "([^"]+)"`)
+
+type expectation struct {
+	analyzer string
+	re       *regexp.Regexp
+	used     bool
+}
+
+func loadFixture(t *testing.T, pattern string) []*Package {
+	t.Helper()
+	pkgs, err := Load(".", pattern)
+	if err != nil {
+		t.Fatalf("Load(%q): %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("Load(%q): no packages", pattern)
+	}
+	return pkgs
+}
+
+func checkGolden(t *testing.T, pkgs []*Package, analyzers []*Analyzer) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	expects := make(map[lineKey][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+					k := lineKey{name, i + 1}
+					expects[k] = append(expects[k], &expectation{analyzer: m[1], re: regexp.MustCompile(m[2])})
+				}
+			}
+		}
+	}
+	for _, d := range Run(pkgs, analyzers) {
+		matched := false
+		for _, e := range expects[lineKey{d.Pos.Filename, d.Pos.Line}] {
+			if !e.used && e.analyzer == d.Analyzer && e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, es := range expects {
+		for _, e := range es {
+			if !e.used {
+				t.Errorf("%s:%d: expected [%s] diagnostic matching %q, got none", k.file, k.line, e.analyzer, e.re)
+			}
+		}
+	}
+}
+
+func TestFloatCmpGolden(t *testing.T) {
+	allow := map[string]bool{"internal/lint/testdata/src/floatcmp.approxEq": true}
+	checkGolden(t, loadFixture(t, "./testdata/src/floatcmp"), []*Analyzer{FloatCmp(allow)})
+}
+
+func TestSyncMisuseGolden(t *testing.T) {
+	checkGolden(t, loadFixture(t, "./testdata/src/syncmisuse"), []*Analyzer{SyncMisuse()})
+}
+
+func TestLayeringGolden(t *testing.T) {
+	rules := []LayerRule{{
+		Pkg: "internal/lint/testdata/src/layering/algo",
+		Imp: "internal/lint/testdata/src/layering/server",
+	}}
+	checkGolden(t, loadFixture(t, "./testdata/src/layering/..."), []*Analyzer{Layering("spatialseq", rules)})
+}
+
+func TestPanicFreeGolden(t *testing.T) {
+	checkGolden(t, loadFixture(t, "./testdata/src/panicfree"), []*Analyzer{PanicFree()})
+}
+
+func TestErrDropGolden(t *testing.T) {
+	checkGolden(t, loadFixture(t, "./testdata/src/errdrop"), []*Analyzer{ErrDrop()})
+}
+
+// TestMalformedIgnore pins the engine's own diagnostic for a
+// lint:ignore directive missing its analyzer and reason.
+func TestMalformedIgnore(t *testing.T) {
+	pkgs := loadFixture(t, "./testdata/src/badignore")
+	diags := Run(pkgs, []*Analyzer{PanicFree()})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lint" || !strings.Contains(d.Message, "malformed lint:ignore") {
+		t.Fatalf("got %s, want a malformed lint:ignore report", d)
+	}
+}
+
+func TestParseLayerPolicy(t *testing.T) {
+	rules, err := ParseLayerPolicy("# comment\n\ndeny internal/geo internal/...\ndeny internal/... cmd/...\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Pkg != "internal/geo" || rules[1].Imp != "cmd/..." {
+		t.Fatalf("unexpected rules: %+v", rules)
+	}
+	if _, err := ParseLayerPolicy("allow internal/geo internal/..."); err == nil {
+		t.Fatal("want error for non-deny rule")
+	}
+	if _, err := ParseLayerPolicy("deny internal/geo"); err == nil {
+		t.Fatal("want error for short rule")
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, rel string
+		want         bool
+	}{
+		{"...", "anything/at/all", true},
+		{"internal/geo", "internal/geo", true},
+		{"internal/geo", "internal/geometry", false},
+		{"internal/algo/...", "internal/algo", true},
+		{"internal/algo/...", "internal/algo/hsp", true},
+		{"internal/algo/...", "internal/algorithm", false},
+		{"cmd/...", "internal/geo", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pattern, c.rel); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pattern, c.rel, got, c.want)
+		}
+	}
+}
+
+// TestSeqlintExitsNonZero reintroduces a violation (the panicfree
+// fixture) to the real binary and demands a non-zero exit, pinning the
+// gate behavior end to end.
+func TestSeqlintExitsNonZero(t *testing.T) {
+	cmd := exec.Command("go", "run", "spatialseq/cmd/seqlint", "./testdata/src/panicfree")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("seqlint exited zero on a fixture violation; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "[panicfree]") {
+		t.Fatalf("missing [panicfree] finding in output:\n%s", out)
+	}
+}

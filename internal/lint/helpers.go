@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// syncTypeName returns the name of the sync package type t is (after
+// stripping pointers), or "" when t is not a sync type.
+func syncTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// containsSyncState reports whether t holds sync-package state by value
+// (directly, or via struct fields, embedded structs, or arrays). Pointers
+// and reference types break containment: copying them is safe.
+func containsSyncState(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if syncTypeName(t) != "" {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSyncState(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSyncState(u.Elem(), seen)
+	}
+	return false
+}
+
+// receiverOf returns the type of sel's receiver expression, or nil.
+func receiverOf(info *types.Info, sel *ast.SelectorExpr) types.Type {
+	if tv, ok := info.Types[sel.X]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// funcName returns a package-relative name for the function declaration,
+// qualified by receiver type for methods ("Concurrent.Offer").
+func funcName(fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := baseTypeName(fd.Recv.List[0].Type); t != "" {
+			name = t + "." + name
+		}
+	}
+	return name
+}
+
+// baseTypeName unwraps pointers and generic instantiations down to the
+// receiver's type name.
+func baseTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// eachFunc invokes fn for every function declaration with a body in the
+// package.
+func eachFunc(pkg *Package, fn func(*ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// position is shorthand for resolving a node's position.
+func position(pkg *Package, n ast.Node) token.Position {
+	return pkg.Fset.Position(n.Pos())
+}
+
+// isLibrary reports whether the package is library code: the module root
+// or anything under internal/, but not cmd/, examples/, or test fixtures.
+func isLibrary(rel string) bool {
+	return rel == "." || rel == "internal" || hasPathPrefix(rel, "internal")
+}
+
+// hasPathPrefix reports whether rel equals prefix or sits below it.
+func hasPathPrefix(rel, prefix string) bool {
+	return rel == prefix || len(rel) > len(prefix) && rel[:len(prefix)] == prefix && rel[len(prefix)] == '/'
+}

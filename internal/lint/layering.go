@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LayerRule is one deny edge of the package-DAG policy: packages
+// matching Pkg must not import packages matching Imp. Patterns are
+// module-relative paths; a trailing "/..." matches the whole subtree and
+// a bare "..." matches every package.
+type LayerRule struct {
+	Pkg string
+	Imp string
+}
+
+// ParseLayerPolicy reads deny rules from the checked-in policy table:
+// one "deny <pkg-pattern> <import-pattern>" per line, with #-comments
+// and blank lines ignored.
+func ParseLayerPolicy(src string) ([]LayerRule, error) {
+	var rules []LayerRule
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "deny" {
+			return nil, fmt.Errorf("policy line %d: want \"deny <pkg-pattern> <import-pattern>\", got %q", i+1, line)
+		}
+		rules = append(rules, LayerRule{Pkg: fields[1], Imp: fields[2]})
+	}
+	return rules, nil
+}
+
+// LoadLayerPolicy reads and parses the policy table at path.
+func LoadLayerPolicy(path string) ([]LayerRule, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseLayerPolicy(string(src))
+}
+
+// matchPattern reports whether the module-relative path rel matches a
+// policy pattern.
+func matchPattern(pattern, rel string) bool {
+	if pattern == "..." {
+		return true
+	}
+	if base, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return hasPathPrefix(rel, base)
+	}
+	return rel == pattern
+}
+
+// Layering returns the layering analyzer, enforcing the package DAG from
+// the policy rules: leaf math packages import nothing internal, the
+// algorithm layer never reaches up into the server or binaries, and
+// nothing imports example programs. modPath is the module's import path,
+// used to translate import specs to module-relative form.
+func Layering(modPath string, rules []LayerRule) *Analyzer {
+	return &Analyzer{
+		Name: "layering",
+		Doc:  "enforce the package DAG from the checked-in layer policy",
+		Run: func(pkg *Package) []Diagnostic {
+			var diags []Diagnostic
+			for _, f := range pkg.Files {
+				for _, spec := range f.Imports {
+					path, err := strconv.Unquote(spec.Path.Value)
+					if err != nil || !hasPathPrefix(path, modPath) {
+						continue
+					}
+					impRel := strings.TrimPrefix(strings.TrimPrefix(path, modPath), "/")
+					if impRel == "" {
+						impRel = "."
+					}
+					for _, r := range rules {
+						if matchPattern(r.Pkg, pkg.Rel) && matchPattern(r.Imp, impRel) {
+							diags = append(diags, Diagnostic{
+								Pos: position(pkg, spec),
+								Message: fmt.Sprintf("package %s may not import %s (policy: deny %s %s)",
+									pkg.Rel, impRel, r.Pkg, r.Imp),
+							})
+							break
+						}
+					}
+				}
+			}
+			return diags
+		},
+	}
+}

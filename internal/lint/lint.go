@@ -1,0 +1,151 @@
+// Package lint is seqlint's analyzer engine: a small, dependency-free
+// static-analysis framework (go/ast + go/types only) encoding this
+// repository's correctness invariants. The analyzers it ships guard
+// exactly the properties the search core depends on — no exact float
+// comparison where the paper's pruning bounds demand epsilon tolerance,
+// no sync misuse around the lock-free top-k threshold, a frozen package
+// DAG, no panics in library code, and no silently dropped errors.
+//
+// Findings print as
+//
+//	file:line: [analyzer] message
+//
+// and may be suppressed with an explanatory comment on (or immediately
+// above) the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// A suppression without a reason is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: position, the analyzer that produced it, and
+// a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line: [analyzer]
+// message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// Run applies every analyzer to every package, filters findings through
+// //lint:ignore suppressions, and returns the surviving diagnostics
+// sorted by file, line, and analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			for _, d := range a.Run(pkg) {
+				d.Analyzer = a.Name
+				pkgDiags = append(pkgDiags, d)
+			}
+		}
+		diags = append(diags, suppress(pkg, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int // line the comment sits on
+	analyzer string
+	reason   string
+}
+
+// suppress drops diagnostics covered by a //lint:ignore directive on the
+// same line or the line directly above, and reports malformed directives
+// (missing analyzer or reason) as findings of the engine itself.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var directives []ignoreDirective
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				directives = append(directives, ignoreDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	for _, d := range diags {
+		if !suppressed(d, directives) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether some directive covers the diagnostic: same
+// file, matching analyzer, and the directive sits on the diagnostic's
+// line (trailing comment) or the line above (standalone comment).
+func suppressed(d Diagnostic, directives []ignoreDirective) bool {
+	for _, dir := range directives {
+		if dir.file != d.Pos.Filename || dir.analyzer != d.Analyzer {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// inspect walks every file of the package, calling fn for each node; fn
+// returning false prunes the subtree.
+func inspect(pkg *Package, fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package from the
+// module under analysis.
+type Package struct {
+	ImportPath string // full import path, e.g. spatialseq/internal/topk
+	Rel        string // module-relative path, e.g. internal/topk ("." for the root)
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+}
+
+// Load resolves the given `go list` patterns from dir, parses the
+// matched module packages (non-test files), and type-checks them against
+// compiled export data for their dependencies. It shells out to the go
+// tool for package metadata only; no network access is required.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	wanted := make(map[string]bool, len(targets))
+	for _, p := range targets {
+		wanted[p.ImportPath] = true
+	}
+	all, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string) // import path -> export data file
+	imp := &moduleImporter{loaded: make(map[string]*types.Package)}
+	imp.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	// go list -deps emits dependencies before dependents, so a single
+	// pass type-checks every module package after all of its imports.
+	for _, lp := range all {
+		if lp.Standard || lp.Module == nil {
+			exports[lp.ImportPath] = lp.Export
+			continue
+		}
+		pkg, err := typeCheck(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.loaded[lp.ImportPath] = pkg.Types
+		if wanted[lp.ImportPath] {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list -json` over the patterns, with -deps when deps is
+// set (which also resolves export data for compiled dependencies).
+func goList(dir string, patterns []string, deps bool) ([]listedPackage, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Dir,Name,GoFiles,Standard,Export,Module"}
+	if deps {
+		args = append(args, "-deps", "-export")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// typeCheck parses and checks one module package from source.
+func typeCheck(fset *token.FileSet, lp listedPackage, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		// Surface type errors but keep checking: fixture packages may be
+		// deliberately odd, and analyzers degrade gracefully on nil types.
+		Error: func(error) {},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	rel := lp.ImportPath
+	if lp.Module != nil {
+		rel = strings.TrimPrefix(rel, lp.Module.Path)
+		rel = strings.TrimPrefix(rel, "/")
+		if rel == "" {
+			rel = "."
+		}
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Rel:        rel,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// Module reports the import path and root directory of the main module
+// containing dir.
+func Module(dir string) (path, root string, err error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Path}}\n{{.Dir}}")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", "", fmt.Errorf("go list -m: %v\n%s", err, stderr.String())
+	}
+	lines := strings.SplitN(strings.TrimSpace(stdout.String()), "\n", 2)
+	if len(lines) != 2 {
+		return "", "", fmt.Errorf("go list -m: unexpected output %q", stdout.String())
+	}
+	return lines[0], lines[1], nil
+}
+
+// moduleImporter resolves module packages from the already type-checked
+// set and everything else from compiled export data.
+type moduleImporter struct {
+	loaded map[string]*types.Package
+	gc     types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.loaded[path]; ok {
+		return p, nil
+	}
+	return m.gc.Import(path)
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree returns the panicfree analyzer: library code (the module
+// root and internal/) must not call panic. Binaries under cmd/ and
+// example programs may crash; the search library, which the roadmap
+// wants serving production traffic, must return errors instead. The
+// rare deliberate invariant guard takes a //lint:ignore with its reason.
+func PanicFree() *Analyzer {
+	return &Analyzer{
+		Name: "panicfree",
+		Doc:  "forbid panic in library (non-cmd, non-test) code",
+		Run: func(pkg *Package) []Diagnostic {
+			if !isLibrary(pkg.Rel) {
+				return nil
+			}
+			var diags []Diagnostic
+			inspect(pkg, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if obj := pkg.Info.Uses[id]; obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+						return true
+					}
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     position(pkg, call),
+					Message: "panic in library code; return an error instead",
+				})
+				return true
+			})
+			return diags
+		},
+	}
+}

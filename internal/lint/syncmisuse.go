@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SyncMisuse returns the syncmisuse analyzer, which flags three
+// concurrency hazards the parallel subspace searches and the lock-free
+// top-k threshold are sensitive to:
+//
+//  1. sync.WaitGroup.Add called inside the goroutine it accounts for —
+//     the spawner may reach Wait before the goroutine runs Add;
+//  2. a mutex acquired in a function but not released on every return
+//     path (and not covered by a defer);
+//  3. sync-bearing state (Mutex, RWMutex, WaitGroup, Once, Cond, Map,
+//     Pool) received or passed by value, which silently forks the lock.
+func SyncMisuse() *Analyzer {
+	return &Analyzer{
+		Name: "syncmisuse",
+		Doc:  "flag WaitGroup.Add inside goroutines, unbalanced lock paths, and sync state copied by value",
+		Run: func(pkg *Package) []Diagnostic {
+			var diags []Diagnostic
+			diags = append(diags, wgAddInGoroutine(pkg)...)
+			diags = append(diags, lockPaths(pkg)...)
+			diags = append(diags, syncByValue(pkg)...)
+			return diags
+		},
+	}
+}
+
+// wgAddInGoroutine flags sync.WaitGroup.Add calls lexically inside the
+// function literal of a go statement.
+func wgAddInGoroutine(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	inspect(pkg, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Add" {
+				return true
+			}
+			if syncTypeName(receiverOf(pkg.Info, sel)) != "WaitGroup" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     position(pkg, call),
+				Message: "sync.WaitGroup.Add called inside the goroutine it accounts for; call Add before the go statement",
+			})
+			return true
+		})
+		return true
+	})
+	return diags
+}
+
+// lockKind classifies a mutex method call.
+type lockKind int
+
+const (
+	notLock lockKind = iota
+	acquire
+	release
+)
+
+// lockCall classifies call as a Mutex/RWMutex (un)lock and returns the
+// held-lock key ("mu" or "mu/R" for the read side).
+func lockCall(info *types.Info, call *ast.CallExpr) (key string, kind lockKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", notLock
+	}
+	name := syncTypeName(receiverOf(info, sel))
+	if name != "Mutex" && name != "RWMutex" {
+		return "", notLock
+	}
+	key = types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock":
+		return key, acquire
+	case "RLock":
+		return key + "/R", acquire
+	case "Unlock":
+		return key, release
+	case "RUnlock":
+		return key + "/R", release
+	}
+	return "", notLock
+}
+
+// lockPaths checks, per function body, that every acquired mutex is
+// either deferred-released or released before each return path and the
+// end of the function. Branch bodies are analyzed with a copy of the
+// held set, so a conditional unlock-and-return is understood; locks that
+// deliberately escape the function need a //lint:ignore.
+func lockPaths(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	seen := make(map[token.Position]bool)
+	report := func(pos token.Position, format string, args ...any) {
+		if !seen[pos] {
+			seen[pos] = true
+			diags = append(diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+		}
+	}
+	var checkBody func(body *ast.BlockStmt)
+
+	var walk func(stmts []ast.Stmt, held map[string]token.Position, deferred map[string]bool)
+	walk = func(stmts []ast.Stmt, held map[string]token.Position, deferred map[string]bool) {
+		branch := func(s ast.Stmt) {
+			if s == nil {
+				return
+			}
+			cp := make(map[string]token.Position, len(held))
+			for k, v := range held {
+				cp[k] = v
+			}
+			walk([]ast.Stmt{s}, cp, deferred)
+		}
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if key, kind := lockCall(pkg.Info, call); kind == acquire {
+						held[key] = position(pkg, call)
+					} else if kind == release {
+						delete(held, key)
+					}
+				}
+			case *ast.DeferStmt:
+				if key, kind := lockCall(pkg.Info, st.Call); kind == release {
+					deferred[key] = true
+				}
+			case *ast.ReturnStmt:
+				for key, pos := range held {
+					if !deferred[key] {
+						report(position(pkg, st),
+							"return with %s held (acquired at line %d); release it or use defer", key, pos.Line)
+					}
+				}
+			case *ast.BlockStmt:
+				walk(st.List, held, deferred)
+			case *ast.IfStmt:
+				if st.Init != nil {
+					walk([]ast.Stmt{st.Init}, held, deferred)
+				}
+				branch(st.Body)
+				branch(st.Else)
+			case *ast.ForStmt:
+				branch(st.Body)
+			case *ast.RangeStmt:
+				branch(st.Body)
+			case *ast.SwitchStmt:
+				for _, c := range st.Body.List {
+					branch(c)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range st.Body.List {
+					branch(c)
+				}
+			case *ast.SelectStmt:
+				for _, c := range st.Body.List {
+					branch(c)
+				}
+			case *ast.CaseClause:
+				walk(st.Body, held, deferred)
+			case *ast.CommClause:
+				walk(st.Body, held, deferred)
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{st.Stmt}, held, deferred)
+			}
+		}
+	}
+
+	checkBody = func(body *ast.BlockStmt) {
+		held := make(map[string]token.Position)
+		deferred := make(map[string]bool)
+		walk(body.List, held, deferred)
+		for key, pos := range held {
+			if !deferred[key] {
+				report(pos, "%s acquired here is not released on every path", key)
+			}
+		}
+	}
+
+	// Analyze every function body; nested literals get their own pass
+	// (a goroutine body has independent lock discipline).
+	inspect(pkg, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkBody(fn.Body)
+			}
+		case *ast.FuncLit:
+			checkBody(fn.Body)
+		}
+		return true
+	})
+	return diags
+}
+
+// syncByValue flags value receivers and value parameters whose type
+// carries sync state, beyond the copylocks cases go vet reports.
+func syncByValue(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	checkField := func(field *ast.Field, what string) {
+		names := field.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{{Name: "_"}}
+		}
+		for _, name := range names {
+			obj := pkg.Info.Defs[name]
+			var t types.Type
+			if obj != nil {
+				t = obj.Type()
+			} else if tv, ok := pkg.Info.Types[field.Type]; ok {
+				t = tv.Type
+			}
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsSyncState(t, make(map[types.Type]bool)) {
+				diags = append(diags, Diagnostic{
+					Pos:     position(pkg, field),
+					Message: fmt.Sprintf("%s %s copies sync state by value (type %s); use a pointer", what, name.Name, t),
+				})
+			}
+		}
+	}
+	inspect(pkg, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Recv != nil {
+				for _, f := range fn.Recv.List {
+					checkField(f, "receiver")
+				}
+			}
+			for _, f := range fn.Type.Params.List {
+				checkField(f, "parameter")
+			}
+		case *ast.FuncLit:
+			for _, f := range fn.Type.Params.List {
+				checkField(f, "parameter")
+			}
+		}
+		return true
+	})
+	return diags
+}

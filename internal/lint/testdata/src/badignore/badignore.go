@@ -1,0 +1,8 @@
+// Package badignore is a seqlint fixture: a lint:ignore directive with
+// no analyzer or reason is itself reported by the engine.
+package badignore
+
+//lint:ignore
+func orphan() {}
+
+var _ = []any{orphan}

@@ -1,0 +1,31 @@
+// Package errdrop is a seqlint golden-file fixture.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, errors.New("boom") }
+
+func clean() int { return 1 }
+
+func drop() {
+	fail()  // want errdrop "silently discarded"
+	multi() // want errdrop "silently discarded"
+	clean() // no error result: fine
+	_ = fail()
+	if _, err := multi(); err != nil {
+		_ = err
+	}
+	var sb strings.Builder
+	sb.WriteString("builder writes never fail")
+	fmt.Fprintf(&sb, "nor do Fprints into one: %d", 1)
+	//lint:ignore errdrop fixture: justified drop
+	fail()
+}
+
+var _ = []any{drop}

@@ -1,0 +1,42 @@
+// Package floatcmp is a seqlint golden-file fixture.
+package floatcmp
+
+func bad(a, b float64) bool {
+	return a == b // want floatcmp "exact floating-point == comparison"
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want floatcmp "exact floating-point != comparison"
+}
+
+func badMixed(xs []float64) int {
+	for i, x := range xs {
+		if x == xs[0] && i > 0 { // want floatcmp "exact floating-point == comparison"
+			return i
+		}
+	}
+	return -1
+}
+
+// zeroGuard is allowed: comparison against the constant zero is a
+// sentinel or division guard, not a tolerance question.
+func zeroGuard(a float64) bool {
+	return a == 0 || 0.0 != a
+}
+
+// approxEq is on the test's allowlist, so its exact comparison passes.
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// suppressed carries a justified //lint:ignore.
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture: exact comparison is intended here
+	return a == b
+}
+
+var _ = []any{bad, badNeq, badMixed, zeroGuard, approxEq, suppressed}

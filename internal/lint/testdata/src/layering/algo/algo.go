@@ -1,0 +1,9 @@
+// Package algo is a seqlint layering fixture standing in for the
+// algorithm layer: importing the leaf is fine, importing the serving
+// layer above it is not.
+package algo
+
+import (
+	_ "spatialseq/internal/lint/testdata/src/layering/geo"
+	_ "spatialseq/internal/lint/testdata/src/layering/server" // want layering "may not import"
+)

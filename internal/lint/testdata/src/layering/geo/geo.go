@@ -1,0 +1,6 @@
+// Package geo is a seqlint layering fixture standing in for a leaf
+// package.
+package geo
+
+// Origin is a dummy exported symbol.
+const Origin = 0

@@ -1,0 +1,6 @@
+// Package server is a seqlint layering fixture standing in for the
+// serving layer, which the algorithm layer may not import.
+package server
+
+// Port is a dummy exported symbol.
+const Port = 8080

@@ -1,0 +1,17 @@
+// Package panicfree is a seqlint golden-file fixture.
+package panicfree
+
+func explode(on bool) {
+	if on {
+		panic("boom") // want panicfree "panic in library code"
+	}
+}
+
+func guarded(on bool) {
+	if on {
+		//lint:ignore panicfree fixture: justified invariant guard
+		panic("invariant")
+	}
+}
+
+var _ = []any{explode, guarded}

@@ -1,0 +1,69 @@
+// Package syncmisuse is a seqlint golden-file fixture.
+package syncmisuse
+
+import "sync"
+
+func addInGoroutine(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want syncmisuse "WaitGroup.Add called inside the goroutine"
+		defer wg.Done()
+	}()
+	wg.Add(1) // correct placement: before the go statement
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) leakyReturn(flag bool) int {
+	c.mu.Lock()
+	if flag {
+		return c.n // want syncmisuse "return with c.mu held"
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *counter) neverReleased() {
+	c.mu.Lock() // want syncmisuse "not released on every path"
+	c.n++
+}
+
+func (c *counter) okDefer(flag bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if flag {
+		return c.n
+	}
+	return 0
+}
+
+func (c *counter) okBranches(flag bool) int {
+	c.mu.Lock()
+	if flag {
+		c.mu.Unlock()
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c counter) valueReceiver() int { // want syncmisuse "copies sync state by value"
+	return c.n
+}
+
+func byValueParam(c counter) int { // want syncmisuse "copies sync state by value"
+	return c.n
+}
+
+func pointerParamOK(c *counter) int {
+	return c.n
+}
+
+var _ = []any{addInGoroutine, (*counter).leakyReturn, (*counter).neverReleased,
+	(*counter).okDefer, (*counter).okBranches, counter.valueReceiver, byValueParam, pointerParamOK}

@@ -79,6 +79,7 @@ func (ix *Index) cachedPartition(radius float64) (*Partition, error) {
 
 func (c *partitionCache) touch(radius float64) {
 	for i, r := range c.order {
+		//lint:ignore floatcmp cache keys match on exact radius identity, not proximity
 		if r == radius {
 			copy(c.order[i:], c.order[i+1:])
 			c.order[len(c.order)-1] = radius

@@ -79,6 +79,7 @@ func (e *Enumerator) Reset(lists [][]float64) {
 		}
 		for i := 1; i < len(l); i++ {
 			if l[i] > l[i-1] {
+				//lint:ignore panicfree documented New/Reset contract: an unsorted list is a caller bug that would silently corrupt enumeration order
 				panic("rankgraph: score list not sorted descending")
 			}
 		}

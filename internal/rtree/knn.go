@@ -59,6 +59,7 @@ func insertNeighbor(out []Neighbor, nb Neighbor, k int) []Neighbor {
 	pos := len(out)
 	for pos > 0 {
 		prev := out[pos-1]
+		//lint:ignore floatcmp exact tie detection feeds the deterministic ref ordering
 		if prev.Dist < nb.Dist || (prev.Dist == nb.Dist && prev.Ref <= nb.Ref) {
 			break
 		}
@@ -87,6 +88,7 @@ type knnQueue []knnItem
 
 func (q knnQueue) Len() int { return len(q) }
 func (q knnQueue) Less(i, j int) bool {
+	//lint:ignore floatcmp exact tie detection; equal distances fall through to kind order
 	if q[i].dist != q[j].dist {
 		return q[i].dist < q[j].dist
 	}

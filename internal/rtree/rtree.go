@@ -201,6 +201,7 @@ func (t *Tree) subtreeSize(ni int32) int {
 func strSort(es []entry, fanout int) {
 	n := len(es)
 	sort.Slice(es, func(i, j int) bool {
+		//lint:ignore floatcmp exact tie on X falls through to Y for a total sort order
 		if es[i].pt.X != es[j].pt.X {
 			return es[i].pt.X < es[j].pt.X
 		}
@@ -216,6 +217,7 @@ func strSort(es []entry, fanout int) {
 		end := min(start+slabSize, n)
 		slab := es[start:end]
 		sort.Slice(slab, func(i, j int) bool {
+			//lint:ignore floatcmp exact tie on Y falls through to X for a total sort order
 			if slab[i].pt.Y != slab[j].pt.Y {
 				return slab[i].pt.Y < slab[j].pt.Y
 			}

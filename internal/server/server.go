@@ -111,7 +111,8 @@ type errorResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	// A write error here means the client went away; nothing to do.
+	_, _ = fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
 type statsResponse struct {

@@ -212,6 +212,7 @@ func Generate(cfg Config) (*dataset.Dataset, error) {
 func MustGenerate(cfg Config) *dataset.Dataset {
 	ds, err := Generate(cfg)
 	if err != nil {
+		//lint:ignore panicfree the documented Must* contract; Generate is the erroring entry point
 		panic(err)
 	}
 	return ds

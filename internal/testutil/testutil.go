@@ -50,6 +50,7 @@ func RandDataset(rng *rand.Rand, n, categories, attrDim int, extent float64) *da
 	}
 	ds, err := b.Build()
 	if err != nil {
+		//lint:ignore panicfree test-support package: known-good configs, and tests want the crash
 		panic(err)
 	}
 	return ds

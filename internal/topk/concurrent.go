@@ -53,6 +53,14 @@ func (c *Concurrent) WouldAccept(sim float64) bool {
 	return sim > math.Float64frombits(c.thr.Load())
 }
 
+// Threshold returns the currently published pruning threshold. Because
+// every store happens under the Offer lock and the heap threshold only
+// ever rises, the sequence of values any reader observes is
+// monotonically non-decreasing.
+func (c *Concurrent) Threshold() float64 {
+	return math.Float64frombits(c.thr.Load())
+}
+
 // Offer proposes a tuple under the lock and republishes the threshold.
 func (c *Concurrent) Offer(tuple []int32, sim float64) bool {
 	c.mu.Lock()

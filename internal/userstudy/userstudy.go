@@ -158,20 +158,30 @@ func (s *Survey) Aggregate() Aggregates {
 	return a
 }
 
-// Report writes the study summary in the shape of Section IV-C.
+// Report writes the study summary in the shape of Section IV-C. The
+// first write error is latched and returned after the report.
 func (s *Survey) Report(w io.Writer) error {
 	a := s.Aggregate()
-	fmt.Fprintln(w, "User study (SIMULATED respondents — see DESIGN.md §5)")
+	var err error
+	printf := func(w io.Writer, format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	printf(w, "User study (SIMULATED respondents — see DESIGN.md §5)\n")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "participants\t%d (8 male, 5 female)\n", len(s.Participants))
-	fmt.Fprintf(tw, "evaluations\t%d (%d questions each)\n", a.Total, NumQuestions)
-	fmt.Fprintf(tw, "prefer example-based\t%d (%.2f%%; paper: 61.63%%)\n", a.PreferExample, a.PctExample)
-	fmt.Fprintf(tw, "prefer filtering\t%d (%.2f%%; paper: 38.38%%)\n", a.PreferFilter, a.PctFilter)
-	fmt.Fprintf(tw, "filter-preferrers wanting both\t%d (%.2f%%; paper: 83.6%%)\n", a.FilterWantBoth, a.PctFilterWantBoth)
-	if err := tw.Flush(); err != nil {
+	printf(tw, "participants\t%d (8 male, 5 female)\n", len(s.Participants))
+	printf(tw, "evaluations\t%d (%d questions each)\n", a.Total, NumQuestions)
+	printf(tw, "prefer example-based\t%d (%.2f%%; paper: 61.63%%)\n", a.PreferExample, a.PctExample)
+	printf(tw, "prefer filtering\t%d (%.2f%%; paper: 38.38%%)\n", a.PreferFilter, a.PctFilter)
+	printf(tw, "filter-preferrers wanting both\t%d (%.2f%%; paper: 83.6%%)\n", a.FilterWantBoth, a.PctFilterWantBoth)
+	if err == nil {
+		err = tw.Flush()
+	}
+	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "representative reasons (quoted from the paper):")
+	printf(w, "representative reasons (quoted from the paper):\n")
 	seen := map[string]bool{}
 	for _, r := range s.Responses {
 		if seen[r.Reason] {
@@ -182,7 +192,7 @@ func (s *Survey) Report(w io.Writer) error {
 		if !r.PrefersExample {
 			side = "filter"
 		}
-		fmt.Fprintf(w, "  [%s] %q\n", side, r.Reason)
+		printf(w, "  [%s] %q\n", side, r.Reason)
 	}
-	return nil
+	return err
 }

@@ -19,6 +19,7 @@ var ErrLengthMismatch = errors.New("vectormath: vector length mismatch")
 // Dot returns the inner product of a and b. Panics if lengths differ.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//lint:ignore panicfree hot-path invariant guard; length-checked callers use ErrLengthMismatch entry points
 		panic("vectormath: Dot length mismatch")
 	}
 	var s float64
@@ -43,6 +44,7 @@ func Norm(a []float64) float64 {
 // are maximally similar to each other). Panics if lengths differ.
 func Cos(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//lint:ignore panicfree hot-path invariant guard; length-checked callers use ErrLengthMismatch entry points
 		panic("vectormath: Cos length mismatch")
 	}
 	var dot, na, nb float64

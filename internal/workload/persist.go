@@ -142,7 +142,7 @@ func SaveFile(path string, ds *dataset.Dataset, queries []*query.Query) error {
 		return err
 	}
 	if err := Save(f, ds, queries); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

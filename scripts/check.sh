@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# check.sh — the repo's full static-analysis and test gate.
+#
+# Runs, in order: gofmt (formatting), go vet (stock analyzers),
+# go build, seqlint (the repo-specific analyzer suite in cmd/seqlint),
+# and the test suite under the race detector. Any failure fails the
+# gate. CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== seqlint =="
+go run ./cmd/seqlint ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "All checks passed."
