@@ -5,21 +5,28 @@
 //
 //	seqserver -data gaode.csv -addr :8080
 //	seqserver -synth gaode -n 100000 -addr :8080   # no file needed
+//	seqserver -synth gaode -addr 127.0.0.1:0 -pprof -log-level debug
 //
-// Endpoints: GET /healthz, GET /stats, POST /search (see internal/server).
+// Endpoints: GET /healthz, /stats, /categories, /metrics, POST /search,
+// /snap, and (with -pprof) GET /debug/pprof/* (see internal/server).
+//
+// Logs are structured JSON on stderr, one object per line; the
+// "listening" record carries the bound address (useful with ":0").
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"time"
 
 	"spatialseq/internal/core"
 	"spatialseq/internal/dataset"
+	"spatialseq/internal/obs"
 	"spatialseq/internal/server"
 	"spatialseq/internal/synth"
 )
@@ -39,6 +46,9 @@ type config struct {
 	seed        int64
 	addr        string
 	timeout     time.Duration
+	cacheSize   int
+	logLevel    string
+	pprof       bool
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -48,12 +58,30 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.synthFamily, "synth", "", "generate a synthetic dataset instead: yelp or gaode")
 	fs.IntVar(&cfg.n, "n", 50000, "synthetic dataset size")
 	fs.Int64Var(&cfg.seed, "seed", 1, "synthetic dataset seed")
-	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-query timeout")
+	fs.IntVar(&cfg.cacheSize, "cache", 0, "query cache capacity in entries (0 = default)")
+	fs.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn, error")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose /debug/pprof/ profiling endpoints")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	return cfg, nil
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
 }
 
 // loadDataset resolves the dataset source from the config.
@@ -77,19 +105,33 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	level, err := parseLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 	ds, err := loadDataset(cfg)
 	if err != nil {
 		return err
 	}
-	log.Printf("indexing %d POIs (%d categories)...", ds.Len(), ds.NumCategories())
+	logger.Info("indexing", "objects", ds.Len(), "categories", ds.NumCategories())
 	eng := core.NewEngine(ds)
-	srv := server.New(eng)
-	srv.Timeout = cfg.timeout
-	log.Printf("serving example-based spatial search on %s", cfg.addr)
+	srv := server.NewWith(eng, server.Config{
+		Timeout:     cfg.timeout,
+		CacheSize:   cfg.cacheSize,
+		Logger:      logger,
+		EnablePprof: cfg.pprof,
+	})
+	// Listen before serving so the actual bound address (":0" resolves
+	// to an ephemeral port) can be logged for scripts to pick up.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "pprof", cfg.pprof)
 	httpServer := &http.Server{
-		Addr:              cfg.addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return httpServer.ListenAndServe()
+	return httpServer.Serve(ln)
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 
 	"spatialseq/internal/dataset"
+	"spatialseq/internal/obs"
 	"spatialseq/internal/query"
 	"spatialseq/internal/simil"
 	"spatialseq/internal/stats"
@@ -33,11 +34,18 @@ func Search(ctx context.Context, ds *dataset.Dataset, q *query.Query) ([]topk.En
 
 // SearchStats is Search with optional per-search counters.
 func SearchStats(ctx context.Context, ds *dataset.Dataset, q *query.Query, st *stats.Stats) ([]topk.Entry, error) {
+	return SearchTraced(ctx, ds, q, st, nil)
+}
+
+// SearchTraced is SearchStats with optional per-phase wall-time tracing
+// (candidate enumeration, DFS, top-k merge). Both st and tr may be nil.
+func SearchTraced(ctx context.Context, ds *dataset.Dataset, q *query.Query, st *stats.Stats, tr *obs.Trace) ([]topk.Entry, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sctx := simil.NewContext(ds, q)
 	m := sctx.M
+	sp := tr.Start("dfs.candidates")
 	cands := make([][]simil.Cand, m)
 	for d := 0; d < m; d++ {
 		if fixed := q.Example.FixedDim(d); fixed >= 0 {
@@ -47,6 +55,7 @@ func SearchStats(ctx context.Context, ds *dataset.Dataset, q *query.Query, st *s
 		}
 		st.AddCandidates(int64(len(cands[d])))
 	}
+	sp.End()
 	st.AddSubspaces(1) // the baseline searches the whole space as one
 	heap := topk.New(q.Params.K)
 	s := &searcher{
@@ -57,14 +66,19 @@ func SearchStats(ctx context.Context, ds *dataset.Dataset, q *query.Query, st *s
 		tuple:   make([]int32, m),
 		scratch: sctx.NewScratch(),
 	}
+	sp = tr.Start("dfs.search")
 	err := s.dfs(0, 0)
+	sp.End()
 	st.AddPrunedPrefixes(s.pruned)
 	st.AddTuples(s.tuples)
 	st.AddOffered(s.offered)
 	if err != nil {
 		return nil, err
 	}
-	return heap.Results(), nil
+	sp = tr.Start("topk.merge")
+	res := heap.Results()
+	sp.End()
+	return res, nil
 }
 
 type searcher struct {

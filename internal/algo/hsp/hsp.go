@@ -21,8 +21,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spatialseq/internal/dataset"
+	"spatialseq/internal/obs"
 	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/simil"
@@ -53,6 +55,10 @@ type Options struct {
 	// Stats, when non-nil, collects per-search counters (subspaces,
 	// candidates, pruned prefixes, scored tuples).
 	Stats *stats.Stats
+	// Trace, when non-nil, records per-phase wall time (partitioning,
+	// candidate enumeration, DFS, top-k merge). With Parallelism > 1
+	// the phase times sum across workers and can exceed wall time.
+	Trace *obs.Trace
 }
 
 // Search answers q exactly using the prebuilt partition index ix (which
@@ -67,7 +73,9 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 		// Ablation flag: one subspace covering everything stays exact.
 		radius = math.Inf(1)
 	}
+	sp := opt.Trace.Start("hsp.partition")
 	part, err := ix.PartitionBucketed(radius)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +107,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 				return nil, err
 			}
 		}
-		return heap.Results(), nil
+		sp = opt.Trace.Start("topk.merge")
+		res := heap.Results()
+		sp.End()
+		return res, nil
 	}
 
 	sink := topk.NewConcurrent(q.Params.K)
@@ -135,7 +146,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	if callErr != nil {
 		return nil, callErr
 	}
-	return sink.Results(), nil
+	sp = opt.Trace.Start("topk.merge")
+	res := sink.Results()
+	sp.End()
+	return res, nil
 }
 
 func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, opt Options) *searcher {
@@ -148,12 +162,21 @@ func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, opt O
 		loose:       opt.LooseBounds,
 		sortedBreak: opt.SortedBreak,
 		st:          opt.Stats,
+		tr:          opt.Trace,
 	}
 }
 
 // searchSubspace prepares and runs Exact-DFS over one subspace.
 func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *partition.Subspace) error {
-	if skip, err := s.prepareSubspace(ds, q, ss); err != nil || skip {
+	var t0 time.Time
+	if s.tr != nil {
+		t0 = time.Now()
+	}
+	skip, err := s.prepareSubspace(ds, q, ss)
+	if s.tr != nil {
+		s.tr.Add("hsp.candidates", time.Since(t0))
+	}
+	if err != nil || skip {
 		if skip {
 			s.st.AddSubspacesSkipped(1)
 		}
@@ -164,7 +187,13 @@ func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *parti
 		s.st.AddCandidates(int64(len(s.cands[d])))
 	}
 	s.local = localCounters{}
-	err := s.dfs(0, 0)
+	if s.tr != nil {
+		t0 = time.Now()
+	}
+	err = s.dfs(0, 0)
+	if s.tr != nil {
+		s.tr.Add("hsp.dfs", time.Since(t0))
+	}
 	s.st.AddPrunedPrefixes(s.local.pruned)
 	s.st.AddTuples(s.local.tuples)
 	s.st.AddOffered(s.local.offered)
@@ -190,6 +219,7 @@ type searcher struct {
 	rbarSuffix []float64
 	steps      int
 	st         *stats.Stats
+	tr         *obs.Trace
 	local      localCounters
 }
 

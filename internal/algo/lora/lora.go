@@ -28,10 +28,12 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/geo"
 	"spatialseq/internal/grid"
+	"spatialseq/internal/obs"
 	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/rankgraph"
@@ -66,6 +68,11 @@ type Options struct {
 	// Stats, when non-nil, collects per-search counters (subspaces,
 	// cell tuples, rank-graph pops, sampling discards).
 	Stats *stats.Stats
+	// Trace, when non-nil, records per-phase wall time (partitioning,
+	// bucketing/sampling, cell enumeration, rank-graph point
+	// enumeration, top-k merge). With Parallelism > 1 the phase times
+	// sum across workers and can exceed wall time.
+	Trace *obs.Trace
 }
 
 // Search answers q approximately using the prebuilt partition index ix.
@@ -75,7 +82,9 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	}
 	sctx := simil.NewContext(ds, q)
 	radius := sctx.PartitionRadius()
+	sp := opt.Trace.Start("lora.partition")
 	part, err := ix.PartitionBucketed(radius)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +113,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 				return nil, err
 			}
 		}
-		return heap.Results(), nil
+		sp = opt.Trace.Start("topk.merge")
+		res := heap.Results()
+		sp.End()
+		return res, nil
 	}
 
 	sink := topk.NewConcurrent(q.Params.K)
@@ -140,7 +152,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	if callErr != nil {
 		return nil, callErr
 	}
-	return sink.Results(), nil
+	sp = opt.Trace.Start("topk.merge")
+	res := sink.Results()
+	sp.End()
+	return res, nil
 }
 
 func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, q *query.Query, opt Options) *searcher {
@@ -151,6 +166,7 @@ func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, q *qu
 		q:     q,
 		opt:   opt,
 		st:    opt.Stats,
+		tr:    opt.Trace,
 		tuple: make([]int32, sctx.M),
 		locs:  make([]geo.Point, sctx.M),
 		asims: make([]float64, sctx.M),
@@ -182,8 +198,12 @@ type searcher struct {
 	q     *query.Query
 	opt   Options
 	st    *stats.Stats
+	tr    *obs.Trace
 	local localCounters
 	steps int
+	// pointDur accumulates time spent in pointEnum during the current
+	// cellDFS, so the cell- and point-level phases report disjointly.
+	pointDur time.Duration
 
 	// per-subspace state
 	g          *grid.Grid
@@ -237,6 +257,10 @@ func (s *searcher) checkCancel() error {
 func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 	c := s.sctx
 	m := c.M
+	var t0 time.Time
+	if s.tr != nil {
+		t0 = time.Now()
+	}
 	g, err := grid.New(ss.AC, s.q.Params.GridD)
 	if err != nil {
 		return err
@@ -269,6 +293,9 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 				region = ss.Core
 			}
 			if !region.Contains(loc) {
+				if s.tr != nil {
+					s.tr.Add("lora.sample", time.Since(t0))
+				}
 				s.st.AddSubspacesSkipped(1)
 				s.flushStats()
 				return nil // subspace cannot host the pinned object
@@ -303,10 +330,17 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 			s.cellLists[d] = append(s.cellLists[d], scoredCell{cell: cell, score: s.buckets[d][cell][0].Sim})
 		}
 		if len(s.cellLists[d]) == 0 {
+			if s.tr != nil {
+				s.tr.Add("lora.sample", time.Since(t0))
+			}
 			s.st.AddSubspacesSkipped(1)
 			s.flushStats()
 			return nil // no candidates for this dimension here
 		}
+	}
+	if s.tr != nil {
+		s.tr.Add("lora.sample", time.Since(t0))
+		t0 = time.Now()
 	}
 	for d := 0; d < m; d++ {
 		sortScoredCells(s.cellLists[d])
@@ -316,7 +350,14 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 		s.rbarSuffix[d] = s.rbarSuffix[d+1] + s.cellLists[d][0].score
 	}
 	s.st.AddSubspaces(1)
+	s.pointDur = 0
 	err = s.cellDFS(0, 0)
+	if s.tr != nil {
+		// pointEnum time is carved out of the enumeration window so the
+		// cell- and point-level phases stay disjoint.
+		s.tr.Add("lora.points", s.pointDur)
+		s.tr.Add("lora.cells", time.Since(t0)-s.pointDur)
+	}
 	s.flushStats()
 	return err
 }
@@ -428,6 +469,10 @@ func (s *searcher) cellPrefixFeasible(dim int) bool {
 
 // pointEnum is Point-Tuple-Enum (Algorithm 5) for the current cell tuple.
 func (s *searcher) pointEnum() error {
+	if s.tr != nil {
+		t0 := time.Now()
+		defer func() { s.pointDur += time.Since(t0) }()
+	}
 	c := s.sctx
 	m := c.M
 	s.local.cellTuples++

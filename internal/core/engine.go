@@ -18,6 +18,7 @@ import (
 	"spatialseq/internal/algo/lora"
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/geo"
+	"spatialseq/internal/obs"
 	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/stats"
@@ -92,6 +93,12 @@ type Options struct {
 	// CollectStats attaches per-search counters to the Result
 	// (Result.Stats) explaining where the search spent its work.
 	CollectStats bool
+	// Trace, when non-nil, records wall time per search phase
+	// (validation, partitioning, enumeration, DFS, top-k merge) into
+	// the supplied trace — the timing companion to CollectStats. On the
+	// default sequential path the phases are disjoint, so their sum is
+	// bounded by Result.Elapsed.
+	Trace *obs.Trace
 }
 
 // ResultTuple is one ranked answer: the matched objects (one per example
@@ -136,8 +143,15 @@ func (e *Engine) PartitionIndex() *partition.Index { return e.pix }
 // Search answers q with the requested algorithm. It validates (and
 // normalizes) q first. The context cancels long runs.
 func (e *Engine) Search(ctx context.Context, q *query.Query, algo Algorithm, opt Options) (*Result, error) {
-	if err := q.Validate(e.ds); err != nil {
-		return nil, err
+	// Start the clock before validation so every traced phase falls
+	// inside the Elapsed window (phase sum <= Elapsed on the
+	// sequential path).
+	start := time.Now()
+	sp := opt.Trace.Start("validate")
+	verr := q.Validate(e.ds)
+	sp.End()
+	if verr != nil {
+		return nil, verr
 	}
 	if algo == Auto {
 		algo = e.chooseAuto(q)
@@ -148,16 +162,19 @@ func (e *Engine) Search(ctx context.Context, q *query.Query, algo Algorithm, opt
 		opt.HSP.Stats = st
 		opt.LORA.Stats = st
 	}
-	start := time.Now()
+	opt.HSP.Trace = opt.Trace
+	opt.LORA.Trace = opt.Trace
 	var (
 		entries []topk.Entry
 		err     error
 	)
 	switch algo {
 	case BruteForce:
+		sp = opt.Trace.Start("brute.search")
 		entries = brute.Search(e.ds, q)
+		sp.End()
 	case DFSPrune:
-		entries, err = dfsprune.SearchStats(ctx, e.ds, q, st)
+		entries, err = dfsprune.SearchTraced(ctx, e.ds, q, st, opt.Trace)
 	case HSP:
 		entries, err = hsp.Search(ctx, e.ds, e.pix, q, opt.HSP)
 	case LORA:

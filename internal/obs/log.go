@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+)
+
+// NewLogger returns a structured JSON logger writing to w at the given
+// level — the request-log format the server emits (one object per
+// line, machine-parseable).
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// callers that did not configure logging.
+func NopLogger() *slog.Logger {
+	return slog.New(nopHandler{})
+}
+
+// nopHandler drops all records without formatting them.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// reqIDFallback numbers request IDs if the system randomness source is
+// ever unavailable (it is not on any supported platform, but a request
+// must never go unidentified).
+var reqIDFallback atomic.Uint64
+
+// NewRequestID returns a 16-hex-character identifier for one request.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], reqIDFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxKey keys the request ID in a context.
+type ctxKey struct{}
+
+// WithRequestID stores a request ID in the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request ID stored by WithRequestID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// ResponseRecorder wraps a ResponseWriter to capture the status code
+// and body size for request logs and status-code counters.
+type ResponseRecorder struct {
+	http.ResponseWriter
+	// Status is the response code; initialize to http.StatusOK to
+	// cover handlers that never call WriteHeader.
+	Status int
+	// Bytes is the body size written so far.
+	Bytes int64
+
+	wroteHeader bool
+}
+
+// WriteHeader records the first status code and forwards it.
+func (r *ResponseRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.Status = code
+		r.wroteHeader = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write forwards the body bytes and counts them.
+func (r *ResponseRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	n, err := r.ResponseWriter.Write(p)
+	r.Bytes += int64(n)
+	return n, err
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// atomicFloat is a lock-free float64 accumulator (CAS over the bit
+// pattern), so metric updates never contend with renders.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// child is one (family, label values) series. Counters and gauges use
+// val; histograms use buckets/sum/count.
+type child struct {
+	values []string
+	val    atomicFloat
+	// buckets[i] counts observations <= family.buckets[i]; the last
+	// element is the +Inf overflow bucket.
+	buckets []atomic.Uint64
+	sum     atomicFloat
+	count   atomic.Uint64
+}
+
+func newChild(f *family, values []string) *child {
+	c := &child{values: append([]string(nil), values...)}
+	if f.typ == histogramType {
+		c.buckets = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	return c
+}
+
+// writeText renders this series under its family f.
+func (c *child) writeText(b *strings.Builder, f *family) {
+	labels := make([]labelPair, len(f.labels))
+	for i, name := range f.labels {
+		labels[i] = labelPair{name: name, value: c.values[i]}
+	}
+	if f.typ != histogramType {
+		writeSample(b, f.name, "", labels, nil, c.val.Load())
+		return
+	}
+	var cum uint64
+	for i, bound := range f.buckets {
+		cum += c.buckets[i].Load()
+		le := labelPair{name: "le", value: formatValue(bound)}
+		writeSample(b, f.name, "_bucket", labels, &le, float64(cum))
+	}
+	cum += c.buckets[len(f.buckets)].Load()
+	le := labelPair{name: "le", value: "+Inf"}
+	writeSample(b, f.name, "_bucket", labels, &le, float64(cum))
+	writeSample(b, f.name, "_sum", labels, nil, c.sum.Load())
+	writeSample(b, f.name, "_count", labels, nil, float64(c.count.Load()))
+}
+
+// CounterVec is a counter family; With picks one series by label values.
+type CounterVec struct {
+	f *family
+}
+
+// With returns the counter for the given label values (one per label
+// name, in registration order), creating the series on first use.
+func (v *CounterVec) With(values ...string) Counter {
+	return Counter{c: v.f.with(values)}
+}
+
+// Counter is one monotonically increasing series.
+type Counter struct {
+	c *child
+}
+
+// Add increments the counter by v; negative deltas are ignored so the
+// series stays monotone.
+func (c Counter) Add(v float64) {
+	if v > 0 {
+		c.c.val.Add(v)
+	}
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.c.val.Add(1) }
+
+// Value returns the current count (for tests and introspection).
+func (c Counter) Value() float64 { return c.c.val.Load() }
+
+// GaugeVec is a gauge family; With picks one series by label values.
+type GaugeVec struct {
+	f *family
+}
+
+// With returns the gauge for the given label values, creating the
+// series on first use.
+func (v *GaugeVec) With(values ...string) Gauge {
+	return Gauge{c: v.f.with(values)}
+}
+
+// Gauge is one series that can go up and down.
+type Gauge struct {
+	c *child
+}
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) { g.c.val.Store(v) }
+
+// Add shifts the gauge by v (negative is fine).
+func (g Gauge) Add(v float64) { g.c.val.Add(v) }
+
+// Inc adds one.
+func (g Gauge) Inc() { g.c.val.Add(1) }
+
+// Dec subtracts one.
+func (g Gauge) Dec() { g.c.val.Add(-1) }
+
+// Value returns the current value (for tests and introspection).
+func (g Gauge) Value() float64 { return g.c.val.Load() }
+
+// HistogramVec is a histogram family; With picks one series by label
+// values.
+type HistogramVec struct {
+	f *family
+}
+
+// With returns the histogram for the given label values, creating the
+// series on first use.
+func (v *HistogramVec) With(values ...string) Histogram {
+	return Histogram{c: v.f.with(values), bounds: v.f.buckets}
+}
+
+// Histogram is one fixed-bucket series.
+type Histogram struct {
+	c      *child
+	bounds []float64
+}
+
+// Observe records v into its bucket and the sum/count aggregates.
+func (h Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. the "le" bucket
+	h.c.buckets[i].Add(1)
+	h.c.sum.Add(v)
+	h.c.count.Add(1)
+}
+
+// Count returns the total number of observations (for tests).
+func (h Histogram) Count() uint64 { return h.c.count.Load() }
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond cache hits to the server's 30s timeout.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}

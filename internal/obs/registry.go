@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricType discriminates the exposition TYPE of a family.
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// nameRe is the Prometheus metric- and label-name grammar.
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Registry is a concurrent collection of metric families that renders
+// the Prometheus text exposition format (version 0.0.4). The zero value
+// is unusable; call NewRegistry. All methods are safe for concurrent
+// use; metric updates (Add, Set, Observe) never block a concurrent
+// render for more than a map lookup.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema. Children (one
+// per distinct label-value combination) are created on demand.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histogram upper bounds, ascending, no +Inf
+
+	mu       sync.Mutex
+	children map[string]*child
+	fn       func() float64 // callback gauges; nil otherwise
+}
+
+// register returns the family for name, creating it on first use. A
+// re-registration must agree on type and label schema.
+func (r *Registry) register(name, help string, typ metricType, buckets []float64, labels []string) *family {
+	if !nameRe.MatchString(name) {
+		//lint:ignore panicfree metric registration happens at process start-up; a malformed name is a programmer error that must not silently produce an unscrapable endpoint
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !nameRe.MatchString(l) || strings.HasPrefix(l, "__") {
+			//lint:ignore panicfree metric registration happens at process start-up; a malformed label is a programmer error that must not silently produce an unscrapable endpoint
+			panic("obs: invalid label name " + strconv.Quote(l) + " on metric " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !slices.Equal(f.labels, labels) {
+			//lint:ignore panicfree conflicting re-registration would silently split one metric into two incompatible series; fail loudly at start-up instead
+			panic("obs: metric " + name + " re-registered with a different type or label schema")
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   slices.Clone(labels),
+		buckets:  slices.Clone(buckets),
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) a counter family with the given label
+// names and returns its vector.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, counterType, nil, labels)}
+}
+
+// Gauge registers (or fetches) a gauge family with the given label
+// names and returns its vector.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, gaugeType, nil, labels)}
+}
+
+// Histogram registers (or fetches) a histogram family with fixed bucket
+// upper bounds (ascending; the +Inf overflow bucket is implicit) and
+// returns its vector. Nil buckets use DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if !slices.IsSorted(buckets) {
+		//lint:ignore panicfree unsorted buckets would mis-count every observation; this is a start-up programmer error
+		panic("obs: histogram " + name + " buckets must be ascending")
+	}
+	return &HistogramVec{f: r.register(name, help, histogramType, buckets, labels)}
+}
+
+// GaugeFunc registers a label-less gauge whose value is sampled from fn
+// at render time — the fit for counters owned elsewhere (e.g. cache
+// hit totals) that the registry only mirrors.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, gaugeType, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// with returns the child for the given label values, creating it on
+// first use.
+func (f *family) with(values []string) *child {
+	if len(values) != len(f.labels) {
+		//lint:ignore panicfree a label-arity mismatch is a programmer error that would otherwise corrupt the series key space
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = newChild(f, values)
+		f.children[key] = c
+	}
+	return c
+}
+
+// labelKey encodes label values into one collision-free map key.
+func labelKey(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range values {
+		b.WriteString(strconv.Quote(v))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format, families and series in lexicographic order so output is
+// deterministic and diff-friendly.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	slices.Sort(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeText renders one family into b.
+func (f *family) writeText(b *strings.Builder) {
+	if f.help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.typ.String())
+	b.WriteByte('\n')
+
+	f.mu.Lock()
+	fn := f.fn
+	children := make([]*child, 0, len(f.children))
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+
+	if fn != nil {
+		writeSample(b, f.name, "", nil, nil, fn())
+		return
+	}
+	for _, c := range children {
+		c.writeText(b, f)
+	}
+}
+
+// writeSample renders one "<name><suffix>{labels...} <value>" line. The
+// extra pair (used for histogram "le") is appended after the family
+// labels when extraKey is non-empty.
+func writeSample(b *strings.Builder, name, suffix string, labels []labelPair, extra *labelPair, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 || extra != nil {
+		b.WriteByte('{')
+		first := true
+		for _, lp := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(lp.name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(lp.value))
+			b.WriteByte('"')
+		}
+		if extra != nil {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extra.name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extra.value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// labelPair is one rendered name="value" element.
+type labelPair struct {
+	name, value string
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("http_requests_total", "Total requests.", "endpoint", "code")
+	reqs.With("/search", "200").Add(3)
+	reqs.With("/search", "400").Inc()
+	reqs.With("/healthz", "200").Inc()
+	r.Gauge("in_flight", "In-flight requests.").With().Set(2)
+	r.GaugeFunc("cache_entries", "Cached results.", func() float64 { return 7 })
+
+	got := render(t, r)
+	want := `# HELP cache_entries Cached results.
+# TYPE cache_entries gauge
+cache_entries 7
+# HELP http_requests_total Total requests.
+# TYPE http_requests_total counter
+http_requests_total{endpoint="/healthz",code="200"} 1
+http_requests_total{endpoint="/search",code="200"} 3
+http_requests_total{endpoint="/search",code="400"} 1
+# HELP in_flight In-flight requests.
+# TYPE in_flight gauge
+in_flight 2
+`
+	if got != want {
+		t.Errorf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "").With()
+	c.Add(2)
+	c.Add(-5)
+	if got := c.Value(); got != 2 {
+		t.Errorf("counter = %g after negative add, want 2", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1}, "algo")
+	hsp := h.With("hsp")
+	hsp.Observe(0.05) // le 0.1
+	hsp.Observe(0.1)  // le 0.1 (boundary is inclusive)
+	hsp.Observe(0.5)  // le 1
+	hsp.Observe(3)    // +Inf
+
+	got := render(t, r)
+	want := `# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{algo="hsp",le="0.1"} 2
+latency_seconds_bucket{algo="hsp",le="1"} 3
+latency_seconds_bucket{algo="hsp",le="+Inf"} 4
+latency_seconds_sum{algo="hsp"} 3.65
+latency_seconds_count{algo="hsp"} 4
+`
+	if got != want {
+		t.Errorf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if hsp.Count() != 4 {
+		t.Errorf("Count = %d", hsp.Count())
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "line1\nline2 \\ done", "q").With("a\"b\\c\nd").Inc()
+	got := render(t, r)
+	if !strings.Contains(got, `# HELP weird_total line1\nline2 \\ done`) {
+		t.Errorf("help not escaped: %s", got)
+	}
+	if !strings.Contains(got, `weird_total{q="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped: %s", got)
+	}
+}
+
+// expositionLine matches a valid sample line of the text format.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[0-9eE.+-]+)$`)
+
+func TestRenderIsValidExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a", "l").With("v").Inc()
+	r.Gauge("b", "b").With().Set(math.Inf(1))
+	r.Histogram("c_seconds", "c", []float64{0.5}).With().Observe(0.2)
+	for _, line := range strings.Split(strings.TrimSuffix(render(t, r), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+}
+
+func TestReRegistrationReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x", "l").With("v").Add(2)
+	r.Counter("dup_total", "x", "l").With("v").Inc()
+	if got := r.Counter("dup_total", "x", "l").With("v").Value(); got != 3 {
+		t.Errorf("re-registered counter = %g, want 3", got)
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration should panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name should panic")
+		}
+	}()
+	r.Counter("0bad name", "x")
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxPhases bounds the distinct phase names one Trace will hold, so a
+// buggy caller generating unbounded names cannot grow a request's trace
+// without limit. Additions beyond the bound are counted in Dropped.
+const maxPhases = 64
+
+// Trace aggregates wall time per named search phase. One Trace covers
+// one query execution; phases recorded under the same name accumulate
+// (the per-subspace enumeration of HSP/LORA records one addition per
+// subspace). Durations come from time.Since, i.e. the monotonic clock.
+//
+// A nil *Trace is a safe no-op on every method — like *stats.Stats, the
+// hot paths thread it through unconditionally and pay only a nil check
+// when tracing is off.
+//
+// Trace is safe for concurrent use. Note that when an algorithm runs
+// its subspace workers in parallel, the recorded per-phase times sum
+// CPU time across workers and can exceed the query's wall time; on the
+// default sequential path the phase times are disjoint slices of the
+// wall clock and their sum is a lower bound on it.
+type Trace struct {
+	mu      sync.Mutex
+	phases  []phase
+	index   map[string]int
+	dropped int64
+}
+
+type phase struct {
+	name  string
+	dur   time.Duration
+	count int64
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{index: make(map[string]int)}
+}
+
+// Add accumulates d under the phase name.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.index[name]; ok {
+		t.phases[i].dur += d
+		t.phases[i].count++
+		return
+	}
+	if len(t.phases) >= maxPhases {
+		t.dropped++
+		return
+	}
+	t.index[name] = len(t.phases)
+	t.phases = append(t.phases, phase{name: name, dur: d, count: 1})
+}
+
+// Span is an in-progress phase measurement; End records it. The zero
+// Span (from a nil Trace) ends as a no-op.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start begins measuring a phase; call End on the returned span.
+func (t *Trace) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// End records the span's elapsed time into its trace.
+func (s Span) End() {
+	if s.t != nil {
+		s.t.Add(s.name, time.Since(s.start))
+	}
+}
+
+// PhaseTiming is one phase's aggregate, in the shape the search API
+// returns to clients.
+type PhaseTiming struct {
+	// Name identifies the phase (e.g. "validate", "hsp.dfs").
+	Name string `json:"name"`
+	// DurationMS is the accumulated wall time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Count is how many measurements were accumulated.
+	Count int64 `json:"count"`
+}
+
+// Snapshot copies the per-phase aggregates in first-recorded order. A
+// nil trace yields nil.
+func (t *Trace) Snapshot() []PhaseTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseTiming, len(t.phases))
+	for i, p := range t.phases {
+		out[i] = PhaseTiming{
+			Name:       p.name,
+			DurationMS: float64(p.dur) / float64(time.Millisecond),
+			Count:      p.count,
+		}
+	}
+	return out
+}
+
+// Dropped reports how many additions were discarded by the phase bound.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add("x", time.Second)
+	tr.Start("y").End()
+	if s := tr.Snapshot(); s != nil {
+		t.Errorf("nil trace snapshot = %v", s)
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Errorf("nil trace dropped = %d", d)
+	}
+}
+
+func TestTraceAggregatesByName(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("dfs", 2*time.Millisecond)
+	tr.Add("validate", time.Millisecond)
+	tr.Add("dfs", 3*time.Millisecond)
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d phases, want 2", len(snap))
+	}
+	// first-recorded order
+	if snap[0].Name != "dfs" || snap[1].Name != "validate" {
+		t.Errorf("order = %s, %s", snap[0].Name, snap[1].Name)
+	}
+	if snap[0].DurationMS != 5 || snap[0].Count != 2 {
+		t.Errorf("dfs aggregate = %+v", snap[0])
+	}
+	if snap[1].DurationMS != 1 || snap[1].Count != 1 {
+		t.Errorf("validate aggregate = %+v", snap[1])
+	}
+}
+
+func TestTraceSpanMeasuresElapsed(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Start("sleep")
+	time.Sleep(5 * time.Millisecond)
+	sp.End()
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].DurationMS < 4 {
+		t.Errorf("span recorded %+v, want >= ~5ms", snap)
+	}
+}
+
+func TestTraceBoundsPhaseCount(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < maxPhases+10; i++ {
+		tr.Add(fmt.Sprintf("phase-%03d", i), time.Microsecond)
+	}
+	if got := len(tr.Snapshot()); got != maxPhases {
+		t.Errorf("kept %d phases, want %d", got, maxPhases)
+	}
+	if got := tr.Dropped(); got != 10 {
+		t.Errorf("dropped = %d, want 10", got)
+	}
+	// existing names still accumulate past the bound
+	tr.Add("phase-000", time.Microsecond)
+	if tr.Snapshot()[0].Count != 2 {
+		t.Error("existing phase stopped accumulating at the bound")
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 || strings.ToLower(id) != id {
+			t.Fatalf("malformed request id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}

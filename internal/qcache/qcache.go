@@ -26,7 +26,7 @@ type Cache struct {
 	order   *list.List // front = most recently used
 	cap     int
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 type entry struct {
@@ -130,6 +130,7 @@ func (c *Cache) Put(key string, res *core.Result) {
 		if oldest != nil {
 			c.order.Remove(oldest)
 			delete(c.entries, oldest.Value.(*entry).key)
+			c.evictions++
 		}
 	}
 	c.entries[key] = c.order.PushFront(&entry{key: key, res: res})
@@ -147,6 +148,20 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Metrics is a consistent snapshot of the cache counters, shaped for
+// metrics exporters.
+type Metrics struct {
+	Hits, Misses, Evictions uint64
+	Len                     int
+}
+
+// Metrics returns all counters and the current size in one locked read.
+func (c *Cache) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Metrics{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.order.Len()}
 }
 
 // Search answers q through the cache: probe, else run eng.Search and store

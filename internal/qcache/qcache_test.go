@@ -86,6 +86,30 @@ func TestGetPutLRU(t *testing.T) {
 	}
 }
 
+func TestMetricsEvictions(t *testing.T) {
+	c := New(2)
+	c.Put("a", &core.Result{})
+	c.Put("b", &core.Result{})
+	c.Put("c", &core.Result{}) // evicts a
+	c.Put("d", &core.Result{}) // evicts b
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be cached")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should have been evicted")
+	}
+	m := c.Metrics()
+	if m.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2", m.Evictions)
+	}
+	if m.Len != 2 {
+		t.Errorf("Len = %d, want 2", m.Len)
+	}
+	if m.Hits != 1 || m.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", m.Hits, m.Misses)
+	}
+}
+
 func TestPutOverwrite(t *testing.T) {
 	c := New(2)
 	r1, r2 := &core.Result{}, &core.Result{}

@@ -4,25 +4,57 @@
 //
 // Endpoints:
 //
-//	GET  /healthz   liveness probe
-//	GET  /stats     dataset summary (size, categories, bounds)
-//	POST /search    run a query; see SearchRequest / SearchResponse
+//	GET  /healthz        liveness probe
+//	GET  /stats          dataset summary (size, categories, bounds)
+//	GET  /categories     category names and sizes
+//	GET  /metrics        Prometheus text exposition of the server metrics
+//	POST /search         run a query; see SearchRequest / SearchResponse
+//	POST /snap           snap a map click to nearby objects
+//	GET  /debug/pprof/*  runtime profiles (only with Config.EnablePprof)
+//
+// Every request gets an X-Request-ID and a structured JSON log line
+// (configure Config.Logger; the default discards logs). Metrics cover
+// per-endpoint request/status counts, in-flight requests, per-algorithm
+// search latency, cumulative engine work counters and query-cache state.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
 	"time"
 
 	"spatialseq/internal/core"
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/export"
 	"spatialseq/internal/geo"
+	"spatialseq/internal/obs"
 	"spatialseq/internal/qcache"
 	"spatialseq/internal/query"
+	"spatialseq/internal/stats"
 )
+
+// Config tunes a Server. The zero value gives the defaults of New.
+type Config struct {
+	// Timeout bounds each search request (default 30s).
+	Timeout time.Duration
+	// CacheSize is the query-cache capacity in entries (<= 0 uses
+	// qcache.DefaultSize).
+	CacheSize int
+	// Logger receives one structured record per request plus warnings.
+	// Nil discards logs.
+	Logger *slog.Logger
+	// Metrics is the registry the server's metrics are registered in and
+	// that GET /metrics renders. Nil creates a private registry.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
 
 // Server handles the HTTP API for one engine.
 type Server struct {
@@ -31,22 +63,112 @@ type Server struct {
 	Timeout time.Duration
 	cache   *qcache.Cache
 	mux     *http.ServeMux
+	logger  *slog.Logger
+	reg     *obs.Registry
+
+	inflight obs.Gauge
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	work     *obs.CounterVec
+
+	// idOnce guards the lazy one-time build of idIndex, the dataset's
+	// id -> position map used to resolve CSEQ-FP fixed_id references.
+	idOnce  sync.Once
+	idIndex map[int64]int32
 }
 
-// New builds a Server around eng with a default-sized result cache.
+// New builds a Server around eng with the default configuration.
 func New(eng *core.Engine) *Server {
+	return NewWith(eng, Config{})
+}
+
+// NewWith builds a Server around eng with cfg.
+func NewWith(eng *core.Engine, cfg Config) *Server {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	s := &Server{
 		eng:     eng,
-		Timeout: 30 * time.Second,
-		cache:   qcache.New(0),
+		Timeout: cfg.Timeout,
+		cache:   qcache.New(cfg.CacheSize),
 		mux:     http.NewServeMux(),
+		logger:  cfg.Logger,
+		reg:     cfg.Metrics,
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/categories", s.handleCategories)
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/snap", s.handleSnap)
+	s.inflight = cfg.Metrics.Gauge("spatialseq_http_in_flight_requests",
+		"Requests currently being served.").With()
+	s.requests = cfg.Metrics.Counter("spatialseq_http_requests_total",
+		"Completed HTTP requests.", "endpoint", "code")
+	s.latency = cfg.Metrics.Histogram("spatialseq_search_duration_seconds",
+		"Engine search latency (cache hits excluded).", nil, "algorithm")
+	s.work = cfg.Metrics.Counter("spatialseq_search_work_total",
+		"Cumulative engine work counters, by stats.Snapshot field.", "counter")
+	cache := s.cache
+	cfg.Metrics.GaugeFunc("spatialseq_qcache_hits",
+		"Query-cache hits since start.",
+		func() float64 { return float64(cache.Metrics().Hits) })
+	cfg.Metrics.GaugeFunc("spatialseq_qcache_misses",
+		"Query-cache misses since start.",
+		func() float64 { return float64(cache.Metrics().Misses) })
+	cfg.Metrics.GaugeFunc("spatialseq_qcache_evictions",
+		"Query-cache LRU evictions since start.",
+		func() float64 { return float64(cache.Metrics().Evictions) })
+	cfg.Metrics.GaugeFunc("spatialseq_qcache_entries",
+		"Query-cache resident entries.",
+		func() float64 { return float64(cache.Metrics().Len) })
+
+	s.handle("/healthz", http.MethodGet, s.handleHealthz)
+	s.handle("/stats", http.MethodGet, s.handleStats)
+	s.handle("/categories", http.MethodGet, s.handleCategories)
+	s.handle("/metrics", http.MethodGet, s.handleMetrics)
+	s.handle("/search", http.MethodPost, s.handleSearch)
+	s.handle("/snap", http.MethodPost, s.handleSnap)
+	if cfg.EnablePprof {
+		// pprof handlers manage their own content types and streaming
+		// (the CPU profile blocks for its sampling window), so they mount
+		// raw rather than through the instrumentation wrapper.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// handle mounts h at pattern with the shared instrumentation: method
+// enforcement (405 with an Allow header), request IDs, the in-flight
+// gauge, per-endpoint status counters and the access log.
+func (s *Server) handle(pattern, method string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := obs.NewRequestID()
+		w.Header().Set("X-Request-ID", id)
+		rec := &obs.ResponseRecorder{ResponseWriter: w, Status: http.StatusOK}
+		s.inflight.Inc()
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			s.writeJSON(rec, http.StatusMethodNotAllowed,
+				errorResponse{Error: method + " required"})
+		} else {
+			h(rec, r.WithContext(obs.WithRequestID(r.Context(), id)))
+		}
+		s.inflight.Dec()
+		s.requests.With(pattern, strconv.Itoa(rec.Status)).Inc()
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", pattern),
+			slog.Int("status", rec.Status),
+			slog.Int64("bytes", rec.Bytes),
+			slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)))
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -72,13 +194,17 @@ type SearchRequest struct {
 	// Format selects the response encoding: "" / "json" for
 	// SearchResponse, "geojson" for an RFC 7946 FeatureCollection that a
 	// map UI can render directly.
-	Format  string          `json:"format,omitempty"`
-	K       int             `json:"k,omitempty"`
-	Alpha   float64         `json:"alpha,omitempty"`
-	Beta    float64         `json:"beta,omitempty"`
-	GridD   int             `json:"grid_d,omitempty"`
-	Xi      int             `json:"xi,omitempty"`
-	Example []ExampleObject `json:"example"`
+	Format string `json:"format,omitempty"`
+	// IncludeStats attaches engine work counters and per-phase wall
+	// times to the response (SearchResponse.Stats). Such requests bypass
+	// the query cache so the timings describe this execution.
+	IncludeStats bool            `json:"include_stats,omitempty"`
+	K            int             `json:"k,omitempty"`
+	Alpha        float64         `json:"alpha,omitempty"`
+	Beta         float64         `json:"beta,omitempty"`
+	GridD        int             `json:"grid_d,omitempty"`
+	Xi           int             `json:"xi,omitempty"`
+	Example      []ExampleObject `json:"example"`
 }
 
 // ResultObject is one matched object.
@@ -97,12 +223,24 @@ type ResultTuple struct {
 	Objects []ResultObject `json:"objects"`
 }
 
+// SearchStats carries the optional observability payload of a response.
+type SearchStats struct {
+	// Work is the engine's per-search counter snapshot.
+	Work stats.Snapshot `json:"work"`
+	// Phases is the wall time spent per search phase; on the sequential
+	// path the durations are disjoint, so they sum to at most
+	// elapsed_ms.
+	Phases []obs.PhaseTiming `json:"phases"`
+}
+
 // SearchResponse is the /search response body.
 type SearchResponse struct {
 	Algorithm string        `json:"algorithm"`
 	Variant   string        `json:"variant"`
 	ElapsedMS float64       `json:"elapsed_ms"`
 	Results   []ResultTuple `json:"results"`
+	// Stats is present when the request set include_stats.
+	Stats *SearchStats `json:"stats,omitempty"`
 }
 
 type errorResponse struct {
@@ -111,8 +249,16 @@ type errorResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	// A write error here means the client went away; nothing to do.
-	_, _ = fmt.Fprintln(w, `{"status":"ok"}`)
+	if _, err := fmt.Fprintln(w, `{"status":"ok"}`); err != nil {
+		s.logWriteErr(r.Context(), err)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteText(w); err != nil {
+		s.logWriteErr(r.Context(), err)
+	}
 }
 
 type statsResponse struct {
@@ -125,7 +271,7 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ds := s.eng.Dataset()
 	b := ds.Bounds()
-	writeJSON(w, http.StatusOK, statsResponse{
+	s.writeJSON(w, http.StatusOK, statsResponse{
 		Objects:    ds.Len(),
 		Categories: ds.NumCategories(),
 		AttrDim:    ds.AttrDim(),
@@ -145,60 +291,86 @@ func (s *Server) handleCategories(w http.ResponseWriter, r *http.Request) {
 	for c, size := range ds.CategorySizes() {
 		out = append(out, CategoryInfo{Name: ds.CategoryName(dataset.CategoryID(c)), Count: size})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
-		return
-	}
 	var req SearchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
 		return
 	}
 	switch req.Format {
 	case "", "json", "geojson":
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown format %q", req.Format)})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown format %q", req.Format)})
 		return
 	}
 	q, err := s.buildQuery(&req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	algo, err := core.ParseAlgorithm(req.Algorithm)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.Timeout)
 	defer cancel()
-	res, cached, err := s.cache.Search(ctx, s.eng, q, algo, core.Options{})
+	opt := core.Options{CollectStats: true}
+	var (
+		res    *core.Result
+		cached bool
+	)
+	if req.IncludeStats {
+		// Bypass the cache: the phase timings must describe this
+		// execution, not a stored one.
+		opt.Trace = obs.NewTrace()
+		res, err = s.eng.Search(ctx, q, algo, opt)
+	} else {
+		res, cached, err = s.cache.Search(ctx, s.eng, q, algo, opt)
+	}
 	if err != nil {
 		status := http.StatusBadRequest
 		if ctx.Err() != nil {
 			status = http.StatusGatewayTimeout
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		s.writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
-	if cached {
+	switch {
+	case req.IncludeStats:
+		w.Header().Set("X-Cache", "bypass")
+	case cached:
 		w.Header().Set("X-Cache", "hit")
-	} else {
+	default:
 		w.Header().Set("X-Cache", "miss")
+	}
+	if !cached {
+		// The engine actually ran: record latency and work. Cache hits
+		// are excluded so the histogram measures search cost, not map
+		// lookups, and work counters are not double-counted.
+		s.latency.With(res.Algorithm.String()).Observe(res.Elapsed.Seconds())
+		res.Stats.Each(func(name string, value int64) {
+			s.work.With(name).Add(float64(value))
+		})
 	}
 	if req.Format == "geojson" {
 		w.Header().Set("Content-Type", "application/geo+json")
 		w.WriteHeader(http.StatusOK)
-		_ = export.Results(w, s.eng.Dataset(), q, res)
+		if err := export.Results(w, s.eng.Dataset(), q, res); err != nil {
+			s.logWriteErr(r.Context(), err)
+		}
 		return
 	}
-	writeJSON(w, http.StatusOK, s.buildResponse(q, res))
+	resp := s.buildResponse(q, res)
+	if req.IncludeStats {
+		resp.Stats = &SearchStats{Work: res.Stats, Phases: opt.Trace.Snapshot()}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // SnapRequest is the /snap request body: a map click to resolve to the
@@ -222,15 +394,11 @@ type SnapResult struct {
 }
 
 func (s *Server) handleSnap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
-		return
-	}
 	var req SnapRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON: " + err.Error()})
 		return
 	}
 	ds := s.eng.Dataset()
@@ -239,7 +407,7 @@ func (s *Server) handleSnap(w http.ResponseWriter, r *http.Request) {
 		var ok bool
 		cat, ok = ds.CategoryByName(req.Category)
 		if !ok {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown category %q", req.Category)})
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown category %q", req.Category)})
 			return
 		}
 	}
@@ -258,7 +426,22 @@ func (s *Server) handleSnap(w http.ResponseWriter, r *http.Request) {
 			},
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// lookupID resolves a dataset object ID to its position, building the
+// index once on first use (the dataset is immutable, so the index never
+// goes stale).
+func (s *Server) lookupID(id int64) (int32, bool) {
+	s.idOnce.Do(func() {
+		ds := s.eng.Dataset()
+		s.idIndex = make(map[int64]int32, ds.Len())
+		for i := 0; i < ds.Len(); i++ {
+			s.idIndex[ds.Object(i).ID] = int32(i)
+		}
+	})
+	pos, ok := s.idIndex[id]
+	return pos, ok
 }
 
 func (s *Server) buildQuery(req *SearchRequest) (*query.Query, error) {
@@ -279,7 +462,6 @@ func (s *Server) buildQuery(req *SearchRequest) (*query.Query, error) {
 	default:
 		return nil, fmt.Errorf("unknown variant %q", req.Variant)
 	}
-	idIndex := make(map[int64]int32)
 	for dim, eo := range req.Example {
 		cat, ok := ds.CategoryByName(eo.Category)
 		if !ok {
@@ -296,12 +478,7 @@ func (s *Server) buildQuery(req *SearchRequest) (*query.Query, error) {
 		q.Example.Locations = append(q.Example.Locations, geo.Point{X: eo.X, Y: eo.Y})
 		q.Example.Attrs = append(q.Example.Attrs, attrs)
 		if eo.FixedID != nil {
-			if len(idIndex) == 0 {
-				for i := 0; i < ds.Len(); i++ {
-					idIndex[ds.Object(i).ID] = int32(i)
-				}
-			}
-			pos, ok := idIndex[*eo.FixedID]
+			pos, ok := s.lookupID(*eo.FixedID)
 			if !ok {
 				return nil, fmt.Errorf("example[%d]: fixed_id %d not in dataset", dim, *eo.FixedID)
 			}
@@ -353,9 +530,21 @@ func categoryCentroid(ds *dataset.Dataset, cat dataset.CategoryID) []float64 {
 	return centroid
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as the response body. Encode errors (a client gone
+// mid-body, or an unencodable value) are logged rather than silently
+// dropped — the status line is already on the wire, so logging is all
+// that is left to do.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logWriteErr(context.Background(), err)
+	}
+}
+
+// logWriteErr records a response-encoding failure at warn level.
+func (s *Server) logWriteErr(ctx context.Context, err error) {
+	s.logger.LogAttrs(ctx, slog.LevelWarn, "response write failed",
+		slog.String("id", obs.RequestID(ctx)),
+		slog.String("error", err.Error()))
 }

@@ -110,18 +110,37 @@ func (s *Stats) AddSampledOut(n int64) {
 	}
 }
 
-// Snapshot is a plain-value copy for reporting.
+// Snapshot is a plain-value copy for reporting. The JSON tags are the
+// wire names the search API uses; Each exposes the same names to the
+// server's cumulative work metrics, so evaluation counters and
+// production metrics share one set of definitions.
 type Snapshot struct {
-	Subspaces          int64
-	SubspacesSkipped   int64
-	Candidates         int64
-	PrunedPrefixes     int64
-	Tuples             int64
-	Offered            int64
-	CellTuples         int64
-	PrunedCellPrefixes int64
-	RankPops           int64
-	SampledOut         int64
+	Subspaces          int64 `json:"subspaces"`
+	SubspacesSkipped   int64 `json:"subspaces_skipped"`
+	Candidates         int64 `json:"candidates"`
+	PrunedPrefixes     int64 `json:"pruned_prefixes"`
+	Tuples             int64 `json:"tuples"`
+	Offered            int64 `json:"offered"`
+	CellTuples         int64 `json:"cell_tuples"`
+	PrunedCellPrefixes int64 `json:"pruned_cell_prefixes"`
+	RankPops           int64 `json:"rank_pops"`
+	SampledOut         int64 `json:"sampled_out"`
+}
+
+// Each calls f with every counter's snake_case name and value, in
+// declaration order — the single source of counter names for metrics
+// exporters.
+func (s Snapshot) Each(f func(name string, value int64)) {
+	f("subspaces", s.Subspaces)
+	f("subspaces_skipped", s.SubspacesSkipped)
+	f("candidates", s.Candidates)
+	f("pruned_prefixes", s.PrunedPrefixes)
+	f("tuples", s.Tuples)
+	f("offered", s.Offered)
+	f("cell_tuples", s.CellTuples)
+	f("pruned_cell_prefixes", s.PrunedCellPrefixes)
+	f("rank_pops", s.RankPops)
+	f("sampled_out", s.SampledOut)
 }
 
 // Snapshot copies the counters. A nil receiver yields a zero snapshot.

@@ -3,8 +3,9 @@
 #
 # Runs, in order: gofmt (formatting), go vet (stock analyzers),
 # go build, seqlint (the repo-specific analyzer suite in cmd/seqlint),
-# and the test suite under the race detector. Any failure fails the
-# gate. CI runs exactly this script; run it locally before pushing.
+# the test suite under the race detector, and the server smoke test
+# (scripts/smoke.sh). Any failure fails the gate. CI runs exactly this
+# script; run it locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +28,8 @@ go run ./cmd/seqlint ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== server smoke =="
+./scripts/smoke.sh
 
 echo "All checks passed."

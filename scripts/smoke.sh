@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# smoke.sh — end-to-end server smoke test.
+#
+# Builds seqserver, starts it on an ephemeral port against a tiny
+# synthetic dataset, probes /healthz, /metrics and one /search, and
+# fails on any non-200 answer. check.sh runs this as its last step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/seqserver" ./cmd/seqserver
+
+"$workdir/seqserver" -synth gaode -n 2000 -addr 127.0.0.1:0 \
+    >/dev/null 2>"$workdir/server.log" &
+server_pid=$!
+
+# The "listening" log record carries the bound address (JSON on stderr).
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$workdir/server.log" | head -n1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "smoke: server exited early" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "smoke: server never logged its address" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+fi
+
+probe() {
+    # probe <name> <expected-status> <curl args...>
+    local name=$1 want=$2
+    shift 2
+    local got
+    got=$(curl -s -o "$workdir/body" -w '%{http_code}' "$@")
+    if [ "$got" != "$want" ]; then
+        echo "smoke: $name returned HTTP $got (want $want)" >&2
+        cat "$workdir/body" >&2
+        exit 1
+    fi
+}
+
+probe healthz 200 "http://$addr/healthz"
+probe metrics 200 "http://$addr/metrics"
+grep -q '^spatialseq_http_requests_total' "$workdir/body" || {
+    echo "smoke: /metrics misses spatialseq_http_requests_total" >&2
+    exit 1
+}
+probe search 200 -X POST -H 'Content-Type: application/json' -d '{
+    "k": 2, "beta": 5,
+    "example": [
+        {"x": 10, "y": 10, "category": "gaode-cat-0000"},
+        {"x": 11, "y": 11, "category": "gaode-cat-0001"}
+    ]
+}' "http://$addr/search"
+grep -q '"results"' "$workdir/body" || {
+    echo "smoke: /search body carries no results field" >&2
+    cat "$workdir/body" >&2
+    exit 1
+}
+
+echo "smoke test passed ($addr)"
