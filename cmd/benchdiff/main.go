@@ -1,0 +1,238 @@
+// Command benchdiff compares two machine-readable BENCH files written by
+// `seqbench -json` and prints a markdown regression report.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -gate -threshold 0.2 BENCH_baseline.json BENCH_new.json
+//
+// Records are matched by (experiment, family, label, size, algorithm).
+// For every matched series the report shows the latency percentile, work
+// counter, and similarity deltas; a series regresses when p50 or p99
+// latency or the total work counters grow beyond the noise threshold,
+// when average similarity drops beyond it, when fewer queries complete,
+// or when the new run times out where the old one did not. Work counters
+// are deterministic for a fixed seed, so their drift is a real behavior
+// change, not measurement noise — latency deltas on small workloads are
+// noisy, which is why the threshold defaults to 20%.
+//
+// With -gate the exit status is non-zero when any series regressed — the
+// CI hook. Series present on only one side are reported ("missing" /
+// "new") but never gate: baselines routinely cover fewer experiments
+// than a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"spatialseq/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.20, "relative noise threshold (0.20 = 20%)")
+	gate := fs.Bool("gate", false, "exit non-zero when a series regresses beyond the threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-gate] [-threshold 0.2] OLD.json NEW.json")
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("threshold must be > 0, got %g", *threshold)
+	}
+	oldF, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newF, err := bench.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	regressions := report(w, fs.Arg(0), fs.Arg(1), oldF, newF, *threshold)
+	if *gate && regressions > 0 {
+		return fmt.Errorf("%d series regressed beyond %.0f%%", regressions, *threshold*100)
+	}
+	return nil
+}
+
+// diff is one compared series.
+type diff struct {
+	name     string
+	old, new *bench.Record
+	status   string // ok | REGRESSION | improved | missing | new
+	notes    []string
+}
+
+// report prints the markdown comparison and returns the regression count.
+func report(w io.Writer, oldPath, newPath string, oldF, newF *bench.File, threshold float64) int {
+	fmt.Fprintf(w, "## benchdiff: %s -> %s (threshold %.0f%%)\n\n", oldPath, newPath, threshold*100)
+	fmt.Fprintf(w, "env: %s | %s\n\n", envLine(oldF.Env), envLine(newF.Env))
+
+	newByKey := make(map[string]*bench.Record, len(newF.Records))
+	for i := range newF.Records {
+		newByKey[newF.Records[i].Key()] = &newF.Records[i]
+	}
+	oldKeys := make(map[string]bool, len(oldF.Records))
+	var diffs []diff
+	for i := range oldF.Records {
+		o := &oldF.Records[i]
+		oldKeys[o.Key()] = true
+		d := diff{name: o.String(), old: o, new: newByKey[o.Key()]}
+		if d.new == nil {
+			d.status = "missing"
+		} else {
+			compare(&d, threshold)
+		}
+		diffs = append(diffs, d)
+	}
+	for i := range newF.Records {
+		n := &newF.Records[i]
+		if !oldKeys[n.Key()] {
+			diffs = append(diffs, diff{name: n.String(), new: n, status: "new"})
+		}
+	}
+
+	fmt.Fprintln(w, "| series | p50 ms | p99 ms | work | avg sim | status |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	counts := map[string]int{}
+	for _, d := range diffs {
+		counts[d.status]++
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			d.name,
+			cell(d, func(r *bench.Record) float64 { return r.Latency.P50MS }, "%.3f"),
+			cell(d, func(r *bench.Record) float64 { return r.Latency.P99MS }, "%.3f"),
+			cell(d, func(r *bench.Record) float64 { return float64(bench.WorkTotal(r.Work)) }, "%.0f"),
+			cell(d, func(r *bench.Record) float64 { return r.AvgSim }, "%.4f"),
+			d.status)
+	}
+	fmt.Fprintln(w)
+	for _, d := range diffs {
+		for _, n := range d.notes {
+			fmt.Fprintf(w, "- %s: %s\n", d.name, n)
+		}
+	}
+	fmt.Fprintf(w, "\n%d series: %d ok, %d regressed, %d improved, %d missing, %d new\n",
+		len(diffs), counts["ok"], counts["REGRESSION"], counts["improved"], counts["missing"], counts["new"])
+	return counts["REGRESSION"]
+}
+
+// compare fills d.status and d.notes for a matched series.
+func compare(d *diff, threshold float64) {
+	var regressed, improved bool
+	check := func(metric string, oldV, newV float64, moreIsWorse bool, format string) {
+		delta := relDelta(oldV, newV)
+		worse := delta
+		if !moreIsWorse {
+			worse = -delta
+		}
+		switch {
+		case worse > threshold:
+			regressed = true
+			d.notes = append(d.notes, fmt.Sprintf("%s "+format+" -> "+format+" (%+.1f%%)", metric, oldV, newV, delta*100))
+		case worse < -threshold:
+			improved = true
+		}
+	}
+	check("p50 latency", d.old.Latency.P50MS, d.new.Latency.P50MS, true, "%.3fms")
+	check("p99 latency", d.old.Latency.P99MS, d.new.Latency.P99MS, true, "%.3fms")
+	check("total work", float64(bench.WorkTotal(d.old.Work)), float64(bench.WorkTotal(d.new.Work)), true, "%.0f")
+	check("avg similarity", d.old.AvgSim, d.new.AvgSim, false, "%.4f")
+	// Per-counter drill-down: name the counter that moved, so the report
+	// says "candidates +45%" instead of just "total work +12%". Small
+	// absolute counts are skipped as noise-prone.
+	union := make(map[string]bool, len(d.old.Work)+len(d.new.Work))
+	for k := range d.old.Work {
+		union[k] = true
+	}
+	for k := range d.new.Work {
+		union[k] = true
+	}
+	keys := make([]string, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ov, nv := d.old.Work[k], d.new.Work[k]
+		if ov < 100 && nv < 100 {
+			continue
+		}
+		if delta := relDelta(float64(ov), float64(nv)); delta > threshold {
+			regressed = true
+			d.notes = append(d.notes, fmt.Sprintf("work counter %s %d -> %d (%+.1f%%)", k, ov, nv, delta*100))
+		}
+	}
+	if d.new.Completed < d.old.Completed {
+		regressed = true
+		d.notes = append(d.notes, fmt.Sprintf("completed queries %d -> %d", d.old.Completed, d.new.Completed))
+	}
+	if d.new.TimedOut && !d.old.TimedOut {
+		regressed = true
+		d.notes = append(d.notes, "newly times out")
+	}
+	if d.new.Error != "" && d.old.Error == "" {
+		regressed = true
+		d.notes = append(d.notes, "newly errors: "+d.new.Error)
+	}
+	switch {
+	case regressed:
+		d.status = "REGRESSION"
+	case improved:
+		d.status = "improved"
+	default:
+		d.status = "ok"
+	}
+}
+
+// relDelta returns (new-old)/old; 0 when both are ~zero, +Inf when only
+// old is.
+func relDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (newV - oldV) / oldV
+}
+
+// cell renders one metric column: "old -> new (+x%)" for matched series,
+// the single value otherwise.
+func cell(d diff, get func(*bench.Record) float64, format string) string {
+	switch {
+	case d.old == nil:
+		return fmt.Sprintf(format, get(d.new))
+	case d.new == nil:
+		return fmt.Sprintf(format, get(d.old))
+	}
+	oldV, newV := get(d.old), get(d.new)
+	return fmt.Sprintf(format+" -> "+format+" (%+.1f%%)", oldV, newV, relDelta(oldV, newV)*100)
+}
+
+// envLine summarizes one Env header for the report preamble.
+func envLine(e bench.Env) string {
+	parts := []string{e.GoVersion, fmt.Sprintf("%s/%s", e.GOOS, e.GOARCH), fmt.Sprintf("%d cpu", e.NumCPU)}
+	if e.GitSHA != "" {
+		sha := e.GitSHA
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		parts = append(parts, sha)
+	}
+	parts = append(parts, fmt.Sprintf("seed %d", e.Seed))
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spatialseq/internal/bench"
+)
+
+// mkFile writes a BENCH file with one table2 lora record whose key knobs
+// the caller can vary.
+func mkFile(t *testing.T, dir, name string, p50, p99 float64, candidates int64, sim float64, extra ...bench.Record) string {
+	t.Helper()
+	f := &bench.File{
+		SchemaVersion: bench.SchemaVersion,
+		Env:           bench.Env{GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 8, Seed: 1},
+		Records: append([]bench.Record{{
+			Experiment: "table2",
+			Family:     "Gaode",
+			Size:       1000,
+			Algorithm:  "lora",
+			Queries:    20,
+			Completed:  20,
+			AvgSim:     sim,
+			Latency:    bench.Latency{MeanMS: p50, P50MS: p50, P90MS: p99, P99MS: p99, MaxMS: p99, TotalMS: p50 * 20},
+			Work:       map[string]int64{"candidates": candidates, "tuples": 500},
+		}}, extra...),
+	}
+	path := filepath.Join(dir, name)
+	if err := bench.WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIdenticalInputsPassGate(t *testing.T) {
+	dir := t.TempDir()
+	a := mkFile(t, dir, "a.json", 1.0, 2.0, 1000, 0.9)
+	var sb strings.Builder
+	if err := run([]string{"-gate", a, a}, &sb); err != nil {
+		t.Fatalf("identical inputs must pass the gate: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| table2/Gaode/1000/lora |") || !strings.Contains(out, "| ok |") {
+		t.Errorf("report missing ok series row:\n%s", out)
+	}
+	if !strings.Contains(out, "1 ok, 0 regressed") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+}
+
+func TestInjectedLatencyRegressionGates(t *testing.T) {
+	dir := t.TempDir()
+	old := mkFile(t, dir, "old.json", 1.0, 2.0, 1000, 0.9)
+	newer := mkFile(t, dir, "new.json", 2.0, 5.0, 1000, 0.9) // p50 +100%, p99 +150%
+	var sb strings.Builder
+	err := run([]string{"-gate", old, newer}, &sb)
+	if err == nil {
+		t.Fatalf("injected latency regression must gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") || !strings.Contains(sb.String(), "p50 latency") {
+		t.Errorf("report should flag the latency regression:\n%s", sb.String())
+	}
+	// Without -gate the same comparison is advisory: report but exit zero.
+	var sb2 strings.Builder
+	if err := run([]string{old, newer}, &sb2); err != nil {
+		t.Errorf("advisory mode must not fail: %v", err)
+	}
+}
+
+func TestWorkCounterRegressionGates(t *testing.T) {
+	dir := t.TempDir()
+	old := mkFile(t, dir, "old.json", 1.0, 2.0, 1000, 0.9)
+	newer := mkFile(t, dir, "new.json", 1.0, 2.0, 2000, 0.9) // candidates doubled
+	var sb strings.Builder
+	if err := run([]string{"-gate", old, newer}, &sb); err == nil {
+		t.Fatalf("doubled work counters must gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "work counter candidates 1000 -> 2000") {
+		t.Errorf("report should name the drifted counter:\n%s", sb.String())
+	}
+}
+
+func TestSimilarityDropGatesAndImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	old := mkFile(t, dir, "old.json", 1.0, 2.0, 1000, 0.9)
+	worse := mkFile(t, dir, "worse.json", 1.0, 2.0, 1000, 0.5) // sim -44%
+	var sb strings.Builder
+	if err := run([]string{"-gate", old, worse}, &sb); err == nil {
+		t.Fatalf("similarity drop must gate:\n%s", sb.String())
+	}
+	faster := mkFile(t, dir, "faster.json", 0.4, 0.8, 1000, 0.9) // p50 -60%
+	var sb2 strings.Builder
+	if err := run([]string{"-gate", old, faster}, &sb2); err != nil {
+		t.Fatalf("improvement must pass the gate: %v", err)
+	}
+	if !strings.Contains(sb2.String(), "improved") {
+		t.Errorf("report should mark the improvement:\n%s", sb2.String())
+	}
+}
+
+func TestMissingAndNewSeriesAreReportedNotGated(t *testing.T) {
+	dir := t.TempDir()
+	extra := bench.Record{Experiment: "table3", Family: "Yelp", Size: 500, Algorithm: "hsp",
+		Queries: 20, Completed: 20, AvgSim: 0.8}
+	old := mkFile(t, dir, "old.json", 1.0, 2.0, 1000, 0.9, extra)
+	neu := bench.Record{Experiment: "fig10", Family: "Gaode", Size: 500, Algorithm: "lora",
+		Queries: 20, Completed: 20, AvgSim: 0.8}
+	newer := mkFile(t, dir, "new.json", 1.0, 2.0, 1000, 0.9, neu)
+	var sb strings.Builder
+	if err := run([]string{"-gate", old, newer}, &sb); err != nil {
+		t.Fatalf("missing/new series must not gate: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| table3/Yelp/500/hsp |") || !strings.Contains(out, "| missing |") {
+		t.Errorf("missing series not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "| fig10/Gaode/500/lora |") || !strings.Contains(out, "| new |") {
+		t.Errorf("new series not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "1 missing, 1 new") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	old := mkFile(t, dir, "old.json", 1.0, 2.0, 1000, 0.9)
+	newer := mkFile(t, dir, "new.json", 1.3, 2.0, 1000, 0.9) // +30%
+	var sb strings.Builder
+	if err := run([]string{"-gate", "-threshold", "0.5", old, newer}, &sb); err != nil {
+		t.Errorf("+30%% under a 50%% threshold must pass: %v", err)
+	}
+	var sb2 strings.Builder
+	if err := run([]string{"-gate", "-threshold", "0.1", old, newer}, &sb2); err == nil {
+		t.Error("+30% over a 10% threshold must gate")
+	}
+	var sb3 strings.Builder
+	if err := run([]string{"-threshold", "0", old, newer}, &sb3); err == nil {
+		t.Error("zero threshold must be rejected")
+	}
+}
+
+func TestUsageAndBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"only-one.json"}, &sb); err == nil {
+		t.Error("one positional arg should fail")
+	}
+	dir := t.TempDir()
+	a := mkFile(t, dir, "a.json", 1, 2, 100, 0.9)
+	if err := run([]string{a, filepath.Join(dir, "nope.json")}, &sb); err == nil {
+		t.Error("unreadable NEW file should fail")
+	}
+}
+
+func TestNewlyTimedOutGates(t *testing.T) {
+	dir := t.TempDir()
+	old := mkFile(t, dir, "old.json", 1.0, 2.0, 1000, 0.9)
+	f := &bench.File{
+		SchemaVersion: bench.SchemaVersion,
+		Env:           bench.Env{Seed: 1},
+		Records: []bench.Record{{
+			Experiment: "table2", Family: "Gaode", Size: 1000, Algorithm: "lora",
+			Queries: 20, Completed: 20, TimedOut: true, AvgSim: 0.9,
+			Latency: bench.Latency{P50MS: 1, P99MS: 2},
+			Work:    map[string]int64{"candidates": 1000, "tuples": 500},
+		}},
+	}
+	path := filepath.Join(dir, "to.json")
+	if err := bench.WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-gate", old, path}, &sb); err == nil {
+		t.Fatalf("newly timed out series must gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "newly times out") {
+		t.Errorf("report should note the timeout:\n%s", sb.String())
+	}
+}

@@ -4,12 +4,21 @@
 // Usage:
 //
 //	seqbench -exp table2-gaode
+//	seqbench -exp table2-gaode,table3 -json BENCH_1.json
 //	seqbench -exp fig9-d -sizes 10000,50000 -queries 100 -budget 2m
-//	seqbench -exp all
+//	seqbench -exp all -cpuprofile prof/cpu -memprofile prof/mem
 //
 // Each experiment prints a paper-style table; EXPERIMENTS.md records how
 // the measured shapes compare with the published numbers. Budgets replace
 // the paper's ">24hours" cut-offs.
+//
+// -json additionally writes a machine-readable BENCH file (schema in
+// internal/bench): one record per measurement with nearest-rank latency
+// percentiles, engine work counters, and allocation deltas, under an Env
+// header pinning toolchain, host, git revision, and workload knobs.
+// `benchdiff old.json new.json` turns two such files into a regression
+// report. -cpuprofile/-memprofile capture one pprof profile per selected
+// experiment at <prefix>.<exp>.
 package main
 
 import (
@@ -19,11 +28,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"spatialseq/internal/bench"
 	"spatialseq/internal/eval"
 	"spatialseq/internal/userstudy"
 )
@@ -120,13 +132,16 @@ func single(fn func(context.Context, io.Writer, eval.Family, int, eval.Config) e
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("seqbench", flag.ContinueOnError)
-	expName := fs.String("exp", "", "experiment id (or 'all'); see -list")
+	expName := fs.String("exp", "", "comma-separated experiment ids (or 'all'); see -list")
 	list := fs.Bool("list", false, "list experiment ids")
 	sizesFlag := fs.String("sizes", "1000,5000,10000", "comma-separated dataset sizes")
 	queries := fs.Int("queries", 20, "queries per measurement (paper: 100)")
 	budget := fs.Duration("budget", 30*time.Second, "time budget per (algorithm, dataset) cell")
 	seed := fs.Int64("seed", 1, "master seed")
 	m := fs.Int("m", 3, "example tuple size")
+	jsonPath := fs.String("json", "", "write machine-readable BENCH records to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write per-experiment CPU profiles to <prefix>.<exp>")
+	memProfile := fs.String("memprofile", "", "write per-experiment heap profiles to <prefix>.<exp>")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,30 +165,110 @@ func run(args []string, w io.Writer) error {
 	cfg.Seed = *seed
 	cfg.M = *m
 
+	var rec *bench.Recorder
+	if *jsonPath != "" {
+		env := bench.CaptureEnv()
+		env.Seed = *seed
+		env.Queries = *queries
+		env.BudgetMS = float64(*budget) / float64(time.Millisecond)
+		env.Sizes = sizes
+		env.M = *m
+		rec = bench.NewRecorder(env)
+		cfg.Rec = rec
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var selected []experiment
-	if *expName == "all" {
-		selected = exps
-	} else {
-		for _, e := range exps {
-			if e.name == *expName {
-				selected = []experiment{e}
-				break
-			}
-		}
-		if selected == nil {
-			return fmt.Errorf("unknown experiment %q; use -list", *expName)
-		}
+	selected, err := selectExperiments(exps, *expName)
+	if err != nil {
+		return err
 	}
 	for _, e := range selected {
 		fmt.Fprintf(w, "== %s: %s ==\n", e.name, e.desc)
 		start := time.Now()
-		if err := e.run(ctx, w, cfg); err != nil {
+		if err := profiled(*cpuProfile, *memProfile, e.name, func() error {
+			return e.run(ctx, w, cfg)
+		}); err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		fmt.Fprintf(w, "(%s finished in %s)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if rec != nil {
+		if err := bench.WriteFile(*jsonPath, rec.File()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d bench records to %s\n", rec.Len(), *jsonPath)
+	}
+	return nil
+}
+
+// selectExperiments resolves a comma-separated id list ("all" selects
+// everything), preserving the requested order and dropping duplicates.
+func selectExperiments(exps []experiment, names string) ([]experiment, error) {
+	var selected []experiment
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		if name == "all" {
+			return exps, nil
+		}
+		found := false
+		for _, e := range exps {
+			if e.name == name {
+				selected = append(selected, e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown experiment %q; use -list", name)
+		}
+		seen[name] = true
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no experiments selected; use -list")
+	}
+	return selected, nil
+}
+
+// profiled runs fn with optional per-experiment pprof capture: a CPU
+// profile covering the whole experiment and a heap profile (after a
+// forced GC) at its end, each written to <prefix>.<exp>.
+func profiled(cpuPrefix, memPrefix, exp string, fn func() error) error {
+	if cpuPrefix != "" {
+		f, err := os.Create(cpuPrefix + "." + exp)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close() // the create succeeded; the profile error wins
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPrefix != "" {
+		f, err := os.Create(memPrefix + "." + exp)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
 	}
 	return nil
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"spatialseq/internal/bench"
 )
 
 func TestListExperiments(t *testing.T) {
@@ -77,5 +81,81 @@ func TestParseSizesSortsAndValidates(t *testing.T) {
 	}
 	if len(got) != 3 || got[0] != 100 || got[2] != 500 {
 		t.Errorf("parseSizes = %v", got)
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	exps := experiments()
+	sel, err := selectExperiments(exps, "table3, table2-gaode,table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].name != "table3" || sel[1].name != "table2-gaode" {
+		names := make([]string, len(sel))
+		for i, e := range sel {
+			names[i] = e.name
+		}
+		t.Errorf("selectExperiments = %v, want [table3 table2-gaode] (order kept, dup dropped)", names)
+	}
+	if all, err := selectExperiments(exps, "table3,all"); err != nil || len(all) != len(exps) {
+		t.Errorf("'all' should select everything: %d, %v", len(all), err)
+	}
+	if _, err := selectExperiments(exps, "table3,zzz"); err == nil {
+		t.Error("unknown id in a list should fail")
+	}
+	if _, err := selectExperiments(exps, " , "); err == nil {
+		t.Error("empty selection should fail")
+	}
+}
+
+func TestMultiExpUnknownFails(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "userstudy,zzz"}, &sb); err == nil {
+		t.Error("unknown experiment in a comma list should fail")
+	}
+}
+
+func TestJSONRecordsPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_test.json")
+	var sb strings.Builder
+	err := run([]string{"-exp", "table2-gaode", "-sizes", "300", "-queries", "2",
+		"-budget", "20s", "-seed", "1", "-json", out,
+		"-cpuprofile", filepath.Join(dir, "cpu"), "-memprofile", filepath.Join(dir, "mem")}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote 3 bench records") {
+		t.Errorf("missing record summary line:\n%s", sb.String())
+	}
+	f, err := bench.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Env.Seed != 1 || f.Env.Queries != 2 || f.Env.GoVersion == "" || f.Env.NumCPU == 0 {
+		t.Errorf("env header incomplete: %+v", f.Env)
+	}
+	if len(f.Records) != 3 {
+		t.Fatalf("want 3 records (dfs, hsp, lora), got %d", len(f.Records))
+	}
+	for _, r := range f.Records {
+		if r.Experiment != "table2" || r.Family != "Gaode" || r.Size != 300 {
+			t.Errorf("record misfiled: %+v", r)
+		}
+		if r.Completed > 0 && (r.Latency.P99MS <= 0 || r.Latency.MaxMS < r.Latency.P50MS) {
+			t.Errorf("record %s: implausible latency %+v", r, r.Latency)
+		}
+		if len(r.Work) != 10 {
+			t.Errorf("record %s: work map has %d counters, want all 10", r, len(r.Work))
+		}
+	}
+	for _, prof := range []string{"cpu.table2-gaode", "mem.table2-gaode"} {
+		st, err := os.Stat(filepath.Join(dir, prof))
+		if err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty: %v", prof, err)
+		}
 	}
 }

@@ -7,10 +7,12 @@ package eval
 import (
 	"context"
 	"math"
+	"runtime"
 	"time"
 
 	"spatialseq/internal/core"
 	"spatialseq/internal/query"
+	"spatialseq/internal/stats"
 	"spatialseq/internal/vectormath"
 )
 
@@ -23,14 +25,29 @@ type QueryRun struct {
 // AlgoRun aggregates one algorithm over a query set.
 type AlgoRun struct {
 	Algo core.Algorithm
+	// Attempted is the size of the query set the run was given.
+	Attempted int
 	// Runs holds one entry per completed query, aligned with the query
 	// set prefix [0, Completed).
 	Runs []QueryRun
 	// TimedOut reports that the budget expired before all queries ran —
-	// the ">24hours" cells of Table II.
+	// the ">24hours" cells of Table II. It is set only on deadline or
+	// context expiry; engine errors land in Err instead.
 	TimedOut bool
+	// Err is the engine error that aborted the run, if any. The completed
+	// prefix before the failure is retained.
+	Err error
 	// Total is the wall time spent on completed queries.
 	Total time.Duration
+	// Work accumulates the engine's per-search counters over all
+	// completed queries.
+	Work stats.Snapshot
+	// Allocation deltas over the whole run, from runtime.ReadMemStats
+	// taken before and after the query loop. HeapDeltaBytes can be
+	// negative when a GC ran mid-measurement.
+	AllocBytes     int64
+	Mallocs        int64
+	HeapDeltaBytes int64
 }
 
 // Completed returns the number of queries that finished.
@@ -42,6 +59,29 @@ func (a *AlgoRun) MeanTime() time.Duration {
 		return 0
 	}
 	return a.Total / time.Duration(len(a.Runs))
+}
+
+// Percentile returns the nearest-rank p-th percentile of per-query cost
+// over completed queries (p in percent; 50 is the median, 100 the max).
+func (a *AlgoRun) Percentile(p float64) time.Duration {
+	if len(a.Runs) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(a.Runs))
+	for i, r := range a.Runs {
+		xs[i] = float64(r.Elapsed)
+	}
+	return time.Duration(vectormath.Percentiles(xs, p)[0])
+}
+
+// LatenciesMS returns the per-query costs in milliseconds, in execution
+// order — the sample the bench records summarize.
+func (a *AlgoRun) LatenciesMS() []float64 {
+	out := make([]float64, len(a.Runs))
+	for i, r := range a.Runs {
+		out[i] = float64(r.Elapsed) / float64(time.Millisecond)
+	}
+	return out
 }
 
 // AvgSim returns the mean of all result similarities across completed
@@ -63,9 +103,15 @@ func (a *AlgoRun) AvgSim() float64 {
 
 // RunQueries executes the query set with one algorithm under a total time
 // budget. A budget of 0 means unlimited. When the budget expires the run
-// is cut short with TimedOut=true and the completed prefix retained.
+// is cut short with TimedOut=true and the completed prefix retained; an
+// engine error likewise cuts the run short but lands in Err, so callers
+// can tell a slow algorithm from a broken query. The run always collects
+// the engine's work counters (Work) and allocation deltas.
 func RunQueries(ctx context.Context, eng *core.Engine, queries []*query.Query, algo core.Algorithm, opt core.Options, budget time.Duration) *AlgoRun {
-	run := &AlgoRun{Algo: algo}
+	run := &AlgoRun{Algo: algo, Attempted: len(queries)}
+	opt.CollectStats = true
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	deadline := time.Time{}
 	if budget > 0 {
 		deadline = time.Now().Add(budget)
@@ -87,17 +133,24 @@ func RunQueries(ctx context.Context, eng *core.Engine, queries []*query.Query, a
 		}
 		if err != nil {
 			if ctx.Err() != nil || qctx.Err() != nil {
+				// deadline or caller cancellation: the ">budget" outcome
 				run.TimedOut = true
-				break
+			} else {
+				// genuine engine failure (validation, unsupported variant):
+				// a distinct outcome the tables render as "error"
+				run.Err = err
 			}
-			// validation errors abort deterministically: surface by panic
-			// would hide bugs; record as timed-out-free failure instead.
-			run.TimedOut = true
 			break
 		}
 		run.Runs = append(run.Runs, QueryRun{Sims: res.Similarities(), Elapsed: res.Elapsed})
 		run.Total += res.Elapsed
+		run.Work = run.Work.Add(res.Stats)
 	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	run.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	run.Mallocs = int64(m1.Mallocs - m0.Mallocs)
+	run.HeapDeltaBytes = int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
 	return run
 }
 

@@ -13,10 +13,12 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"spatialseq/internal/bench"
 	"spatialseq/internal/core"
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/query"
 	"spatialseq/internal/synth"
+	"spatialseq/internal/vectormath"
 	"spatialseq/internal/workload"
 )
 
@@ -55,6 +57,10 @@ type Config struct {
 	M int
 	// Params are the query parameters (paper defaults via query.DefaultParams).
 	Params query.Params
+	// Rec, when non-nil, receives one machine-readable bench.Record per
+	// (experiment, family, label, size, algorithm) measurement in
+	// addition to the printed tables (`seqbench -json`).
+	Rec *bench.Recorder
 }
 
 // DefaultConfig returns laptop-scale settings that preserve the paper's
@@ -100,6 +106,13 @@ func familyWorkload(f Family, cfg Config) workload.Config {
 }
 
 func fmtTime(r *AlgoRun, budget time.Duration) string {
+	if r.Err != nil {
+		// engine failure, not slowness: render distinctly from ">budget"
+		if r.Completed() == 0 {
+			return "error"
+		}
+		return fmt.Sprintf("%.3fs!", r.MeanTime().Seconds()) // partial: aborted on error
+	}
 	if r.TimedOut && r.Completed() == 0 {
 		return fmt.Sprintf(">%s", budget)
 	}
@@ -108,6 +121,15 @@ func fmtTime(r *AlgoRun, budget time.Duration) string {
 		suffix = "*" // partial: mean over the completed prefix
 	}
 	return fmt.Sprintf("%.3fs%s", r.MeanTime().Seconds(), suffix)
+}
+
+// fmtPctl renders a nearest-rank latency percentile over completed
+// queries, "-" when none completed.
+func fmtPctl(r *AlgoRun, p float64) string {
+	if r.Completed() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3fs", r.Percentile(p).Seconds())
 }
 
 func fmtSpeedup(base, fast *AlgoRun, budget time.Duration) string {
@@ -129,7 +151,7 @@ func Table2(ctx context.Context, w io.Writer, f Family, cfg Config) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	rp := &report{}
 	rp.printf(w, "Table II (%s-like): per-query cost and LORA accuracy\n", f)
-	rp.println(tw, "#POIs\tDFS-Prune\tHSP\tLORA\tLORA MAE\tLORA Speedup")
+	rp.println(tw, "#POIs\tDFS-Prune\tHSP\tLORA\tLORA p99\tLORA MAE\tLORA Speedup")
 	for _, n := range cfg.Sizes {
 		ds, err := familyDataset(f, n, cfg.Seed)
 		if err != nil {
@@ -144,13 +166,18 @@ func Table2(ctx context.Context, w io.Writer, f Family, cfg Config) error {
 		hsp := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
 		lora := RunQueries(ctx, eng, queries, core.LORA, core.Options{}, cfg.Budget)
 		mae := "-"
+		var loraErrs *vectormath.Stats
 		if hsp.Completed() > 0 && lora.Completed() > 0 {
 			st := ErrorStats(hsp, lora)
+			loraErrs = &st
 			mae = fmt.Sprintf("%.5f", st.Mean)
 		}
-		rp.printf(tw, "%d\t%s\t%s\t%s\t%s\t%s\n",
+		recordRun(cfg, "table2", f, "", n, dfs, nil)
+		recordRun(cfg, "table2", f, "", n, hsp, nil)
+		recordRun(cfg, "table2", f, "", n, lora, loraErrs)
+		rp.printf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			n, fmtTime(dfs, cfg.Budget), fmtTime(hsp, cfg.Budget), fmtTime(lora, cfg.Budget),
-			mae, fmtSpeedup(dfs, lora, cfg.Budget))
+			fmtPctl(lora, 99), mae, fmtSpeedup(dfs, lora, cfg.Budget))
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -177,11 +204,14 @@ func Table3(ctx context.Context, w io.Writer, f Family, cfg Config) error {
 		eng := core.NewEngine(ds)
 		hsp := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
 		lora := RunQueries(ctx, eng, queries, core.LORA, core.Options{}, cfg.Budget)
+		recordRun(cfg, "table3", f, "", n, hsp, nil)
 		if hsp.Completed() == 0 || lora.Completed() == 0 {
+			recordRun(cfg, "table3", f, "", n, lora, nil)
 			rp.printf(tw, "%d\t-\t-\t-\n", n)
 			continue
 		}
 		st := ErrorStats(hsp, lora)
+		recordRun(cfg, "table3", f, "", n, lora, &st)
 		rp.printf(tw, "%d\t%.5f\t%.5f\t%.5f\n", n, st.Mean, st.Std, st.Max)
 		if err := ctx.Err(); err != nil {
 			return err
@@ -220,6 +250,14 @@ func runThree(ctx context.Context, eng *core.Engine, queries []*query.Query, cfg
 	}
 }
 
+// recordSweepRow appends bench records for all three algorithms of one
+// sweep row, labeled by the row's sweep point.
+func recordSweepRow(cfg Config, exp string, f Family, size int, r sweepRow) {
+	recordRun(cfg, exp, f, r.label, size, r.dfs, nil)
+	recordRun(cfg, exp, f, r.label, size, r.hsp, nil)
+	recordRun(cfg, exp, f, r.label, size, r.lora, nil)
+}
+
 // Fig9GridD reproduces Fig. 9(a.*): LORA's cost and similarity as the grid
 // resolution D grows, with HSP and DFS-Prune as flat exact references.
 func Fig9GridD(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ds []int) error {
@@ -234,6 +272,8 @@ func Fig9GridD(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ds
 	eng := core.NewEngine(data)
 	dfs := RunQueries(ctx, eng, queries, core.DFSPrune, core.Options{}, cfg.Budget)
 	hsp := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
+	recordRun(cfg, "fig9-d", f, "", n, dfs, nil)
+	recordRun(cfg, "fig9-d", f, "", n, hsp, nil)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	rp := &report{}
 	rp.printf(w, "Fig 9(a) (%s-like, %d POIs): grid resolution sweep\n", f, n)
@@ -248,6 +288,7 @@ func Fig9GridD(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ds
 			qcopy[i] = &qq
 		}
 		lora := RunQueries(ctx, eng, qcopy, core.LORA, core.Options{}, cfg.Budget)
+		recordRun(cfg, "fig9-d", f, fmt.Sprintf("D=%d", d), n, lora, nil)
 		rp.printf(tw, "%d\t%s\t%.4f\n", d, fmtTime(lora, cfg.Budget), lora.AvgSim())
 		if err := ctx.Err(); err != nil {
 			return err
@@ -309,6 +350,7 @@ func Fig9Param(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ki
 		}
 		row := runThree(ctx, eng, queries, c)
 		row.label = fmt.Sprintf("%s=%g", kind, v)
+		recordSweepRow(cfg, fmt.Sprintf("fig9-%s", kind), f, n, row)
 		rows = append(rows, row)
 		if err := ctx.Err(); err != nil {
 			return err
@@ -333,6 +375,7 @@ func Fig9Scale(ctx context.Context, w io.Writer, f Family, n int, cfg Config, ta
 	for _, target := range targets {
 		row := runThree(ctx, eng, sets[target], cfg)
 		row.label = fmt.Sprintf("scale=%g", target)
+		recordSweepRow(cfg, "fig9-scale", f, n, row)
 		rows = append(rows, row)
 		if err := ctx.Err(); err != nil {
 			return err
@@ -358,6 +401,7 @@ func Fig10(ctx context.Context, w io.Writer, cfg Config, sizes []int, ds []int) 
 		}
 		eng := core.NewEngine(data)
 		dfs := RunQueries(ctx, eng, queries, core.DFSPrune, core.Options{}, cfg.Budget)
+		recordRun(cfg, "fig10", Gaode, "", n, dfs, nil)
 		rp := &report{}
 		rp.printf(w, "Fig 10 (Gaode-like, %d POIs, SEQ): DFS-Prune %s (sim %.4f)\n",
 			n, fmtTime(dfs, cfg.Budget), dfs.AvgSim())
@@ -371,6 +415,7 @@ func Fig10(ctx context.Context, w io.Writer, cfg Config, sizes []int, ds []int) 
 				qcopy[i] = &qq
 			}
 			lora := RunQueries(ctx, eng, qcopy, core.LORA, core.Options{}, cfg.Budget)
+			recordRun(cfg, "fig10", Gaode, fmt.Sprintf("D=%d", d), n, lora, nil)
 			rp.printf(tw, "%d\t%s\t%.4f\n", d, fmtTime(lora, cfg.Budget), lora.AvgSim())
 			if err := ctx.Err(); err != nil {
 				return err
@@ -408,6 +453,8 @@ func Fig11(ctx context.Context, w io.Writer, cfg Config, sizes []int) error {
 		eng := core.NewEngine(data)
 		row := runThree(ctx, eng, queries, c)
 		loraA3 := RunQueries(ctx, eng, queries, core.LORA, loraCellNorm(), cfg.Budget)
+		recordSweepRow(c, "fig11", Gaode, n, row)
+		recordRun(c, "fig11", Gaode, "A3", n, loraA3, nil)
 		rp.printf(tw, "%d\t%s\t%s\t%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\n",
 			n, fmtTime(row.dfs, cfg.Budget), fmtTime(row.hsp, cfg.Budget),
 			fmtTime(row.lora, cfg.Budget), fmtTime(loraA3, cfg.Budget),
@@ -433,6 +480,8 @@ func AblationPartition(ctx context.Context, w io.Writer, f Family, n int, cfg Co
 	eng := core.NewEngine(data)
 	on := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
 	off := RunQueries(ctx, eng, queries, core.HSP, core.Options{HSP: hspNoPartition()}, cfg.Budget)
+	recordRun(cfg, "ablation-partition", f, "partitioned", n, on, nil)
+	recordRun(cfg, "ablation-partition", f, "whole-space", n, off, nil)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	rp := &report{}
 	rp.printf(w, "Ablation A1 (%s-like, %d POIs): HSP space partitioning\n", f, n)
@@ -455,6 +504,8 @@ func AblationBounds(ctx context.Context, w io.Writer, f Family, n int, cfg Confi
 	eng := core.NewEngine(data)
 	refined := RunQueries(ctx, eng, queries, core.HSP, core.Options{}, cfg.Budget)
 	loose := RunQueries(ctx, eng, queries, core.HSP, core.Options{HSP: hspLooseBounds()}, cfg.Budget)
+	recordRun(cfg, "ablation-bounds", f, "refined", n, refined, nil)
+	recordRun(cfg, "ablation-bounds", f, "loose", n, loose, nil)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	rp := &report{}
 	rp.printf(w, "Ablation A4 (%s-like, %d POIs): HSP bound refinement\n", f, n)
@@ -485,6 +536,8 @@ func AblationSampling(ctx context.Context, w io.Writer, f Family, n int, cfg Con
 		}
 		qd := RunQueries(ctx, eng, queries, core.LORA, core.Options{}, cfg.Budget)
 		rnd := RunQueries(ctx, eng, queries, core.LORA, loraRandom(cfg.Seed), cfg.Budget)
+		recordRun(cfg, "ablation-sampling", f, fmt.Sprintf("xi=%d/query-dependent", xi), n, qd, nil)
+		recordRun(cfg, "ablation-sampling", f, fmt.Sprintf("xi=%d/random", xi), n, rnd, nil)
 		rp.printf(tw, "%d\t%.4f\t%.4f\t%s\t%s\n",
 			xi, qd.AvgSim(), rnd.AvgSim(), fmtTime(qd, cfg.Budget), fmtTime(rnd, cfg.Budget))
 		if err := ctx.Err(); err != nil {
@@ -522,6 +575,7 @@ func AblationSortedBreak(ctx context.Context, w io.Writer, f Family, n int, cfg 
 		{"LORA + sorted break", core.LORA, loraSortedBreak()},
 	} {
 		r := RunQueries(ctx, eng, queries, row.algo, row.opt, cfg.Budget)
+		recordRun(cfg, "ablation-break", f, row.label, n, r, nil)
 		rp.printf(tw, "%s\t%s\t%.4f\n", row.label, fmtTime(r, cfg.Budget), r.AvgSim())
 		if err := ctx.Err(); err != nil {
 			return err
@@ -543,6 +597,8 @@ func AblationCellNorm(ctx context.Context, w io.Writer, f Family, n int, cfg Con
 	eng := core.NewEngine(data)
 	off := RunQueries(ctx, eng, queries, core.LORA, core.Options{}, cfg.Budget)
 	on := RunQueries(ctx, eng, queries, core.LORA, loraCellNorm(), cfg.Budget)
+	recordRun(cfg, "ablation-cellnorm", f, "off", n, off, nil)
+	recordRun(cfg, "ablation-cellnorm", f, "on", n, on, nil)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	rp := &report{}
 	rp.printf(w, "Ablation A3 (%s-like, %d POIs): LORA cell-level norm filter\n", f, n)

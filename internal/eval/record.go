@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"spatialseq/internal/bench"
+	"spatialseq/internal/vectormath"
+)
+
+// recordRun converts one AlgoRun into a bench.Record and appends it to
+// the config's sink, when one is attached. label distinguishes rows
+// within an experiment (sweep point, ablation variant); es carries the
+// error statistics against the exact reference when they were computed.
+// All experiment drivers funnel through here, so the BENCH files stay
+// uniform regardless of which table produced a record.
+func recordRun(cfg Config, exp string, f Family, label string, size int, r *AlgoRun, es *vectormath.Stats) {
+	if cfg.Rec == nil {
+		return
+	}
+	rec := bench.Record{
+		Experiment: exp,
+		Family:     f.String(),
+		Label:      label,
+		Size:       size,
+		Algorithm:  r.Algo.String(),
+		Queries:    r.Attempted,
+		Completed:  r.Completed(),
+		TimedOut:   r.TimedOut,
+		AvgSim:     r.AvgSim(),
+		Latency:    bench.LatencyOf(r.LatenciesMS()),
+		Work:       bench.WorkMap(r.Work),
+		Mem: bench.Mem{
+			AllocBytes:     r.AllocBytes,
+			Mallocs:        r.Mallocs,
+			HeapDeltaBytes: r.HeapDeltaBytes,
+		},
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+	}
+	if es != nil {
+		rec.Errors = &bench.ErrorStats{MAE: es.Mean, STD: es.Std, MAX: es.Max}
+	}
+	cfg.Rec.Add(rec)
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialseq/internal/bench"
+	"spatialseq/internal/core"
+	"spatialseq/internal/query"
+)
+
+func TestRunQueriesErrorDistinctFromTimeout(t *testing.T) {
+	eng, qs := smallSetup(t, 150)
+	bad := *qs[0]
+	bad.Params.K = -1 // fails validation deterministically (0 would be defaulted)
+	run := RunQueries(context.Background(), eng, []*query.Query{&bad}, core.HSP, core.Options{}, 0)
+	if run.Err == nil {
+		t.Fatal("invalid query should set Err")
+	}
+	if run.TimedOut {
+		t.Error("engine error must not masquerade as a timeout")
+	}
+	if got := fmtTime(run, time.Second); got != "error" {
+		t.Errorf("fmtTime on erred run = %q, want \"error\"", got)
+	}
+	// A timed-out run renders as >budget, not error.
+	slow := RunQueries(context.Background(), eng, qs, core.DFSPrune, core.Options{}, time.Nanosecond)
+	if slow.Err != nil {
+		t.Errorf("budget expiry must not set Err: %v", slow.Err)
+	}
+	if !slow.TimedOut {
+		t.Error("nanosecond budget should time out")
+	}
+	if got := fmtTime(slow, time.Nanosecond); !strings.HasPrefix(got, ">") {
+		t.Errorf("fmtTime on timed-out run = %q, want >budget", got)
+	}
+}
+
+func TestRunQueriesErrorKeepsCompletedPrefix(t *testing.T) {
+	eng, qs := smallSetup(t, 150)
+	bad := *qs[1]
+	bad.Params.K = -1
+	mixed := []*query.Query{qs[0], &bad, qs[2]}
+	run := RunQueries(context.Background(), eng, mixed, core.HSP, core.Options{}, 0)
+	if run.Err == nil || run.Completed() != 1 {
+		t.Fatalf("want 1 completed then error, got %d completed, err %v", run.Completed(), run.Err)
+	}
+	if run.Attempted != 3 {
+		t.Errorf("Attempted = %d, want 3", run.Attempted)
+	}
+	if got := fmtTime(run, time.Second); !strings.HasSuffix(got, "!") {
+		t.Errorf("fmtTime on partial erred run = %q, want ! suffix", got)
+	}
+}
+
+func TestRunQueriesCollectsWorkAndMem(t *testing.T) {
+	eng, qs := smallSetup(t, 300)
+	run := RunQueries(context.Background(), eng, qs, core.HSP, core.Options{}, 0)
+	if run.Work.Candidates == 0 || run.Work.Subspaces == 0 {
+		t.Errorf("work counters not collected: %+v", run.Work)
+	}
+	if run.AllocBytes <= 0 || run.Mallocs <= 0 {
+		t.Errorf("allocation deltas not collected: alloc=%d mallocs=%d", run.AllocBytes, run.Mallocs)
+	}
+}
+
+func TestAlgoRunPercentile(t *testing.T) {
+	run := &AlgoRun{Runs: []QueryRun{
+		{Elapsed: 10 * time.Millisecond},
+		{Elapsed: 20 * time.Millisecond},
+		{Elapsed: 30 * time.Millisecond},
+		{Elapsed: 40 * time.Millisecond},
+		{Elapsed: 500 * time.Millisecond},
+	}}
+	if got := run.Percentile(50); got != 30*time.Millisecond {
+		t.Errorf("p50 = %v, want 30ms", got)
+	}
+	if got := run.Percentile(100); got != 500*time.Millisecond {
+		t.Errorf("p100 = %v, want 500ms", got)
+	}
+	empty := &AlgoRun{}
+	if got := empty.Percentile(99); got != 0 {
+		t.Errorf("empty p99 = %v, want 0", got)
+	}
+	ms := run.LatenciesMS()
+	if len(ms) != 5 || ms[0] != 10 || ms[4] != 500 {
+		t.Errorf("LatenciesMS = %v", ms)
+	}
+}
+
+// TestRecordPipelineDeterministic runs Table2 twice with the same seed
+// and checks that everything except wall time and allocation noise is
+// identical — the property benchdiff's work-counter gate relies on.
+func TestRecordPipelineDeterministic(t *testing.T) {
+	runOnce := func() []bench.Record {
+		cfg := DefaultConfig()
+		cfg.Sizes = []int{300}
+		cfg.QueryCount = 3
+		cfg.Budget = 30 * time.Second
+		cfg.Rec = bench.NewRecorder(bench.Env{Seed: cfg.Seed})
+		var sb strings.Builder
+		if err := Table2(context.Background(), &sb, Gaode, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Rec.File().Records
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 records per run (dfs, hsp, lora), got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Errorf("record %d key drift: %q vs %q", i, a[i].Key(), b[i].Key())
+		}
+		if a[i].Completed != b[i].Completed || a[i].AvgSim != b[i].AvgSim {
+			t.Errorf("record %s: completed/sim drift across identical runs", a[i])
+		}
+		for k, v := range a[i].Work {
+			if b[i].Work[k] != v {
+				t.Errorf("record %s: counter %s drifted %d -> %d across identical seeds", a[i], k, v, b[i].Work[k])
+			}
+		}
+		if a[i].Latency.P50MS <= 0 || a[i].Latency.P99MS < a[i].Latency.P50MS {
+			t.Errorf("record %s: implausible percentiles %+v", a[i], a[i].Latency)
+		}
+	}
+	// The LORA record carries error stats against the exact reference.
+	last := a[2]
+	if last.Algorithm != "lora" || last.Errors == nil {
+		t.Errorf("lora record should carry error stats: %+v", last)
+	}
+}
+
+func TestRecordRunNilSinkIsNoOp(t *testing.T) {
+	cfg := DefaultConfig() // Rec == nil
+	run := &AlgoRun{Algo: core.HSP}
+	recordRun(cfg, "table2", Gaode, "", 100, run, nil) // must not panic
+}

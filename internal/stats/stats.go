@@ -143,6 +143,22 @@ func (s Snapshot) Each(f func(name string, value int64)) {
 	f("sampled_out", s.SampledOut)
 }
 
+// Add returns the field-wise sum of s and o. The evaluation harness uses
+// it to accumulate per-query snapshots into a per-run work total.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	s.Subspaces += o.Subspaces
+	s.SubspacesSkipped += o.SubspacesSkipped
+	s.Candidates += o.Candidates
+	s.PrunedPrefixes += o.PrunedPrefixes
+	s.Tuples += o.Tuples
+	s.Offered += o.Offered
+	s.CellTuples += o.CellTuples
+	s.PrunedCellPrefixes += o.PrunedCellPrefixes
+	s.RankPops += o.RankPops
+	s.SampledOut += o.SampledOut
+	return s
+}
+
 // Snapshot copies the counters. A nil receiver yields a zero snapshot.
 func (s *Stats) Snapshot() Snapshot {
 	if s == nil {

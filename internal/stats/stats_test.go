@@ -1,0 +1,45 @@
+package stats
+
+import "testing"
+
+func TestSnapshotAdd(t *testing.T) {
+	var s Stats
+	s.AddSubspaces(2)
+	s.AddCandidates(10)
+	s.AddTuples(3)
+	a := s.Snapshot()
+	var s2 Stats
+	s2.AddSubspaces(1)
+	s2.AddCandidates(5)
+	s2.AddRankPops(7)
+	b := s2.Snapshot()
+
+	sum := a.Add(b)
+	if sum.Subspaces != 3 || sum.Candidates != 15 || sum.Tuples != 3 || sum.RankPops != 7 {
+		t.Errorf("Add = %+v", sum)
+	}
+	// Add must cover every counter Each exposes: the field-wise sum of a
+	// snapshot with itself doubles every named value.
+	doubled := a.Add(a)
+	i := 0
+	av := make(map[string]int64)
+	a.Each(func(name string, v int64) { av[name] = v })
+	doubled.Each(func(name string, v int64) {
+		if v != 2*av[name] {
+			t.Errorf("counter %s: Add(a,a) = %d, want %d", name, v, 2*av[name])
+		}
+		i++
+	})
+	if i != 10 {
+		t.Errorf("Each visited %d counters, want 10", i)
+	}
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	var s *Stats
+	s.AddSubspaces(1)
+	s.AddOffered(1)
+	if snap := s.Snapshot(); snap != (Snapshot{}) {
+		t.Errorf("nil Stats snapshot = %+v, want zero", snap)
+	}
+}

@@ -1,0 +1,108 @@
+package vectormath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentilesEmpty(t *testing.T) {
+	got := Percentiles(nil, 50, 99)
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Errorf("Percentiles(nil) = %v, want [0 0]", got)
+	}
+	if got := Percentiles([]float64{}, 90); got[0] != 0 {
+		t.Errorf("Percentiles(empty) = %v, want [0]", got)
+	}
+}
+
+func TestPercentilesSingleton(t *testing.T) {
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := Percentiles([]float64{7.5}, p)[0]; got != 7.5 {
+			t.Errorf("Percentiles([7.5], %g) = %g, want 7.5", p, got)
+		}
+	}
+}
+
+func TestPercentilesNearestRank(t *testing.T) {
+	// Classic nearest-rank example: 5 samples, p50 -> ceil(2.5)=3rd value.
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},   // clamps to the minimum
+		{-5, 15},  // negative clamps too
+		{5, 15},   // ceil(0.25) = 1st
+		{30, 20},  // ceil(1.5) = 2nd
+		{40, 20},  // exactly 2.0 -> 2nd
+		{50, 35},  // ceil(2.5) = 3rd
+		{100, 50}, // maximum
+		{250, 50}, // >100 clamps to the maximum
+	}
+	for _, c := range cases {
+		if got := Percentiles(xs, c.p)[0]; got != c.want {
+			t.Errorf("Percentiles(%v, %g) = %g, want %g", xs, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentilesEvenLength(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	// n=4: p50 -> ceil(2)=2nd smallest = 2; p75 -> ceil(3)=3rd = 3.
+	got := Percentiles(xs, 50, 75, 100)
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles(%v) = %v, want %v", xs, got, want)
+			break
+		}
+	}
+	// input untouched
+	if xs[0] != 4 || xs[1] != 1 {
+		t.Errorf("Percentiles mutated its input: %v", xs)
+	}
+}
+
+func TestPercentilesTiesDeterministic(t *testing.T) {
+	xs := []float64{3, 3, 3, 1, 1}
+	a := Percentiles(xs, 20, 40, 60, 80, 100)
+	b := Percentiles(xs, 20, 40, 60, 80, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic percentiles: %v vs %v", a, b)
+		}
+	}
+	if a[0] != 1 || a[4] != 3 {
+		t.Errorf("tie handling wrong: %v", a)
+	}
+}
+
+func TestPercentilesAreSampleMembers(t *testing.T) {
+	xs := []float64{0.1, 0.9, 0.4, 0.7, 0.2, 0.5}
+	for _, p := range []float64{10, 33, 50, 66, 90, 99} {
+		v := Percentiles(xs, p)[0]
+		found := false
+		for _, x := range xs {
+			if x == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("p%g = %g is not a sample member (nearest-rank must not interpolate)", p, v)
+		}
+	}
+}
+
+func TestPercentilesNaNsSortFirst(t *testing.T) {
+	xs := []float64{2, math.NaN(), 1}
+	// NaNs sort before numbers, so the minimum rank lands on NaN and the
+	// maximum on the largest number — deterministically.
+	got := Percentiles(xs, 0, 100)
+	if !math.IsNaN(got[0]) {
+		t.Errorf("p0 with NaN present = %g, want NaN", got[0])
+	}
+	if got[1] != 2 {
+		t.Errorf("p100 = %g, want 2", got[1])
+	}
+}

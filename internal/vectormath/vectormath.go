@@ -10,6 +10,7 @@ package vectormath
 import (
 	"errors"
 	"math"
+	"slices"
 )
 
 // ErrLengthMismatch is returned by checked entry points when two vectors
@@ -121,6 +122,35 @@ func Summarize(xs []float64) Stats {
 	}
 	st.Std = math.Sqrt(ss / float64(len(xs)))
 	return st
+}
+
+// Percentiles returns the nearest-rank percentiles of xs, one per entry
+// of ps (in percent). The nearest-rank definition picks the smallest
+// sample value with at least ceil(p/100*N) of the sample at or below it,
+// so every returned value is an actual sample member — no interpolation.
+// p <= 0 yields the minimum and p >= 100 the maximum; an empty sample
+// yields all zeros. Ties break deterministically: the sample is sorted
+// ascending (NaNs first, per slices.Sort) and ranks index that order, so
+// equal inputs always produce byte-identical outputs. xs is not modified.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	slices.Sort(sorted)
+	for i, p := range ps {
+		rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
 }
 
 // MAE returns the mean absolute difference between parallel samples a and b.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — produce a tiny machine-readable BENCH artifact in
+# seconds, plus a benchdiff self-check (identical inputs must pass the
+# gate). CI uploads the artifact and diffs it against the checked-in
+# BENCH_baseline.json in advisory mode; regenerate that baseline with
+#
+#     scripts/bench_smoke.sh BENCH_baseline.json
+#
+# whenever the schema or the smoke workload changes. Sizes are deliberately
+# tiny: the artifact exists to exercise the record pipeline and to track
+# the deterministic work counters, not to publish latencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_smoke.json}"
+
+go run ./cmd/seqbench \
+    -exp table2-gaode,table3 \
+    -sizes 200,500 -queries 3 -budget 10s -seed 1 \
+    -json "$out" >/dev/null
+
+go run ./cmd/benchdiff -gate "$out" "$out" >/dev/null
+
+echo "bench smoke: wrote $out ($(go run ./cmd/benchdiff "$out" "$out" | tail -1))"
