@@ -26,7 +26,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"sort"
 	"strings"
@@ -134,7 +133,11 @@ func report(w io.Writer, oldPath, newPath string, oldF, newF *bench.File, thresh
 func compare(d *diff, threshold float64) {
 	var regressed, improved bool
 	check := func(metric string, oldV, newV float64, moreIsWorse bool, format string) {
-		delta := relDelta(oldV, newV)
+		delta, ok := relDelta(oldV, newV)
+		if !ok {
+			d.notes = append(d.notes, fmt.Sprintf("%s not comparable: "+format+" -> "+format+" (old is 0)", metric, oldV, newV))
+			return
+		}
 		worse := delta
 		if !moreIsWorse {
 			worse = -delta
@@ -171,7 +174,12 @@ func compare(d *diff, threshold float64) {
 		if ov < 100 && nv < 100 {
 			continue
 		}
-		if delta := relDelta(float64(ov), float64(nv)); delta > threshold {
+		delta, ok := relDelta(float64(ov), float64(nv))
+		if !ok {
+			d.notes = append(d.notes, fmt.Sprintf("work counter %s not comparable: 0 -> %d", k, nv))
+			continue
+		}
+		if delta > threshold {
 			regressed = true
 			d.notes = append(d.notes, fmt.Sprintf("work counter %s %d -> %d (%+.1f%%)", k, ov, nv, delta*100))
 		}
@@ -198,16 +206,16 @@ func compare(d *diff, threshold float64) {
 	}
 }
 
-// relDelta returns (new-old)/old; 0 when both are ~zero, +Inf when only
-// old is.
-func relDelta(oldV, newV float64) float64 {
+// relDelta returns (new-old)/old and whether that ratio exists. It does
+// not when old is 0 and new is not (e.g. the old run completed no
+// queries, so its percentiles and work counters are all zero): no finite
+// relative delta describes that, so callers report "not comparable"
+// instead of gating on an infinite regression.
+func relDelta(oldV, newV float64) (float64, bool) {
 	if oldV == 0 {
-		if newV == 0 {
-			return 0
-		}
-		return math.Inf(1)
+		return 0, newV == 0
 	}
-	return (newV - oldV) / oldV
+	return (newV - oldV) / oldV, true
 }
 
 // cell renders one metric column: "old -> new (+x%)" for matched series,
@@ -220,7 +228,11 @@ func cell(d diff, get func(*bench.Record) float64, format string) string {
 		return fmt.Sprintf(format, get(d.old))
 	}
 	oldV, newV := get(d.old), get(d.new)
-	return fmt.Sprintf(format+" -> "+format+" (%+.1f%%)", oldV, newV, relDelta(oldV, newV)*100)
+	delta, ok := relDelta(oldV, newV)
+	if !ok {
+		return fmt.Sprintf(format+" -> "+format+" (n/a)", oldV, newV)
+	}
+	return fmt.Sprintf(format+" -> "+format+" (%+.1f%%)", oldV, newV, delta*100)
 }
 
 // envLine summarizes one Env header for the report preamble.

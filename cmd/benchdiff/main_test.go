@@ -154,6 +154,36 @@ func TestUsageAndBadInputs(t *testing.T) {
 	}
 }
 
+func TestZeroOldSeriesIsNotComparableNotRegression(t *testing.T) {
+	dir := t.TempDir()
+	// Old run completed no queries: every latency and work value is 0.
+	f := &bench.File{
+		SchemaVersion: bench.SchemaVersion,
+		Env:           bench.Env{Seed: 1},
+		Records: []bench.Record{{
+			Experiment: "table2", Family: "Gaode", Size: 1000, Algorithm: "lora",
+			Queries: 20, Completed: 0, TimedOut: true,
+			Work: map[string]int64{"candidates": 0, "tuples": 0},
+		}},
+	}
+	old := filepath.Join(dir, "old.json")
+	if err := bench.WriteFile(old, f); err != nil {
+		t.Fatal(err)
+	}
+	newer := mkFile(t, dir, "new.json", 1.0, 2.0, 1000, 0.9)
+	var sb strings.Builder
+	if err := run([]string{"-gate", old, newer}, &sb); err != nil {
+		t.Fatalf("zero-valued old series must not gate as an infinite regression: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Errorf("report must not print Inf/NaN deltas:\n%s", out)
+	}
+	if !strings.Contains(out, "not comparable") {
+		t.Errorf("report should note the series is not comparable:\n%s", out)
+	}
+}
+
 func TestNewlyTimedOutGates(t *testing.T) {
 	dir := t.TempDir()
 	old := mkFile(t, dir, "old.json", 1.0, 2.0, 1000, 0.9)

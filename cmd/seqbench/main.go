@@ -190,6 +190,16 @@ func run(args []string, w io.Writer) error {
 		if err := profiled(*cpuProfile, *memProfile, e.name, func() error {
 			return e.run(ctx, w, cfg)
 		}); err != nil {
+			// Flush what we measured so far: a failed (or interrupted)
+			// experiment late in a long multi-experiment session must not
+			// discard every record collected before it.
+			if rec != nil && rec.Len() > 0 {
+				if werr := bench.WriteFile(*jsonPath, rec.File()); werr != nil {
+					fmt.Fprintf(os.Stderr, "seqbench: writing partial bench records: %v\n", werr)
+				} else {
+					fmt.Fprintf(w, "wrote %d partial bench records to %s\n", rec.Len(), *jsonPath)
+				}
+			}
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		fmt.Fprintf(w, "(%s finished in %s)\n\n", e.name, time.Since(start).Round(time.Millisecond))

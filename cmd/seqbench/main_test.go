@@ -74,6 +74,34 @@ func TestTinyTable2Run(t *testing.T) {
 	}
 }
 
+func TestPartialRecordsWrittenOnExperimentError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_partial.json")
+	// The heap-profile path is unwritable, so the experiment fails after
+	// its measurements are already in the recorder; the records collected
+	// so far must still reach the BENCH file.
+	var sb strings.Builder
+	err := run([]string{"-exp", "table2-gaode", "-sizes", "300", "-queries", "2",
+		"-budget", "20s", "-json", out,
+		"-memprofile", filepath.Join(dir, "no-such-dir", "mem")}, &sb)
+	if err == nil {
+		t.Fatal("unwritable profile path should fail the run")
+	}
+	if !strings.Contains(sb.String(), "partial bench records") {
+		t.Errorf("missing partial-write notice:\n%s", sb.String())
+	}
+	f, rerr := bench.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("partial BENCH file should exist and parse: %v", rerr)
+	}
+	if len(f.Records) == 0 {
+		t.Error("partial BENCH file should retain the records collected before the failure")
+	}
+}
+
 func TestParseSizesSortsAndValidates(t *testing.T) {
 	got, err := parseSizes("500, 100,300")
 	if err != nil {

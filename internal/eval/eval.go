@@ -128,11 +128,14 @@ func RunQueries(ctx context.Context, eng *core.Engine, queries []*query.Query, a
 		}
 		qq := *q // Search normalizes params in place; keep callers' copy pristine
 		res, err := eng.Search(qctx, &qq, algo, opt)
+		// Read the context state before cancel(): afterwards qctx.Err()
+		// reports Canceled for every outcome, masking engine errors.
+		budgetExpired := ctx.Err() != nil || qctx.Err() != nil
 		if cancel != nil {
 			cancel()
 		}
 		if err != nil {
-			if ctx.Err() != nil || qctx.Err() != nil {
+			if budgetExpired {
 				// deadline or caller cancellation: the ">budget" outcome
 				run.TimedOut = true
 			} else {

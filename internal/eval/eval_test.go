@@ -57,6 +57,24 @@ func TestRunQueriesBudget(t *testing.T) {
 	}
 }
 
+func TestRunQueriesEngineErrorUnderBudget(t *testing.T) {
+	eng, qs := smallSetup(t, 200)
+	// Corrupt the first query so Search fails validation. The budget is
+	// generous: the failure must be classified as an engine error, not as
+	// budget expiry (cancel() must not launder it into TimedOut).
+	qs[0].Example.Categories[0] = 9999
+	run := RunQueries(context.Background(), eng, qs, core.HSP, core.Options{}, time.Hour)
+	if run.Err == nil {
+		t.Fatal("invalid query must set Err")
+	}
+	if run.TimedOut {
+		t.Error("engine error under a generous budget must not be reported as TimedOut")
+	}
+	if run.Completed() != 0 {
+		t.Errorf("failure on the first query should retain an empty prefix, got %d", run.Completed())
+	}
+}
+
 func TestRunQueriesDoesNotMutateCallerQueries(t *testing.T) {
 	eng, qs := smallSetup(t, 150)
 	before := qs[0].Params
