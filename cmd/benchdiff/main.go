@@ -170,6 +170,12 @@ func compare(d *diff, threshold float64) {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
+		if strings.HasPrefix(k, "attr_sim_memo_") {
+			// cache telemetry, not enumeration work (see bench.WorkTotal):
+			// hit/miss ratios shift whenever subspace counts do, without
+			// the search doing more work.
+			continue
+		}
 		ov, nv := d.old.Work[k], d.new.Work[k]
 		if ov < 100 && nv < 100 {
 			continue

@@ -120,8 +120,7 @@ func (s *searcher) dfs(dim int, attrSum float64) error {
 			continue
 		}
 		s.tuple[dim] = cand.Pos
-		obj := c.DS.Object(int(cand.Pos))
-		added := s.scratch.Push(obj.Loc, cand.Sim)
+		added := s.scratch.Push(c.DS.Loc(int(cand.Pos)), cand.Sim)
 		if dim+1 == c.M {
 			s.tuples++
 			if c.NormOK(s.scratch.PrefixNorm()) {

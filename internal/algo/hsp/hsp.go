@@ -86,7 +86,7 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	work := make([]*partition.Subspace, 0, len(part.Subspaces))
 	for si := range part.Subspaces {
 		ss := &part.Subspaces[si]
-		if fixed0 >= 0 && !ss.Core.Contains(ds.Object(int(fixed0)).Loc) {
+		if fixed0 >= 0 && !ss.Core.Contains(ds.Loc(int(fixed0))) {
 			continue
 		}
 		work = append(work, ss)
@@ -99,6 +99,19 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	if workers > len(work) {
 		workers = len(work)
 	}
+	// With more than one subspace the overlapping ac-regions revisit the
+	// same (dimension, object) pairs, so memoize the attribute cosines:
+	// lazily on the sequential path, eagerly (read-only, worker-safe) when
+	// subspaces run in parallel. A single subspace has no reuse to win.
+	if len(work) > 1 {
+		sp = opt.Trace.Start("hsp.simprep")
+		if workers > 1 {
+			opt.Stats.AddAttrSimMemoMisses(sctx.PrepareMemoShared())
+		} else {
+			sctx.EnableMemo()
+		}
+		sp.End()
+	}
 	if workers <= 1 {
 		heap := topk.New(q.Params.K)
 		s := newSearcher(ctx, sctx, heap, opt)
@@ -107,6 +120,9 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 				return nil, err
 			}
 		}
+		h, mi := sctx.MemoCounters()
+		opt.Stats.AddAttrSimMemoHits(h)
+		opt.Stats.AddAttrSimMemoMisses(mi)
 		sp = opt.Trace.Start("topk.merge")
 		res := heap.Results()
 		sp.End()
@@ -161,13 +177,17 @@ func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, opt O
 		scratch:     sctx.NewScratch(),
 		loose:       opt.LooseBounds,
 		sortedBreak: opt.SortedBreak,
-		st:          opt.Stats,
-		tr:          opt.Trace,
+		// With a shared (eagerly filled) memo the Context counts nothing;
+		// each worker tallies its own hits in the local batch instead.
+		countHits: sctx.MemoShared(),
+		st:        opt.Stats,
+		tr:        opt.Trace,
 	}
 }
 
 // searchSubspace prepares and runs Exact-DFS over one subspace.
 func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *partition.Subspace) error {
+	s.local = localCounters{}
 	var t0 time.Time
 	if s.tr != nil {
 		t0 = time.Now()
@@ -180,13 +200,13 @@ func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *parti
 		if skip {
 			s.st.AddSubspacesSkipped(1)
 		}
+		s.st.AddAttrSimMemoHits(s.local.memoHits)
 		return err
 	}
 	s.st.AddSubspaces(1)
 	for d := 0; d < s.sctx.M; d++ {
 		s.st.AddCandidates(int64(len(s.cands[d])))
 	}
-	s.local = localCounters{}
 	if s.tr != nil {
 		t0 = time.Now()
 	}
@@ -197,13 +217,14 @@ func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *parti
 	s.st.AddPrunedPrefixes(s.local.pruned)
 	s.st.AddTuples(s.local.tuples)
 	s.st.AddOffered(s.local.offered)
+	s.st.AddAttrSimMemoHits(s.local.memoHits)
 	return err
 }
 
 // localCounters batch the per-subspace statistics so the DFS hot loop
 // touches plain ints, not atomics.
 type localCounters struct {
-	pruned, tuples, offered int64
+	pruned, tuples, offered, memoHits int64
 }
 
 type searcher struct {
@@ -214,6 +235,7 @@ type searcher struct {
 	scratch     *simil.Scratch
 	loose       bool
 	sortedBreak bool
+	countHits   bool
 
 	cands      [][]simil.Cand
 	rbarSuffix []float64
@@ -236,7 +258,7 @@ func (s *searcher) prepareSubspace(ds *dataset.Dataset, q *query.Query, ss *part
 	}
 	for d := 0; d < m; d++ {
 		if fixed := q.Example.FixedDim(d); fixed >= 0 {
-			loc := ds.Object(int(fixed)).Loc
+			loc := ds.Loc(int(fixed))
 			region := ss.AC
 			if d == 0 {
 				region = ss.Core
@@ -245,6 +267,9 @@ func (s *searcher) prepareSubspace(ds *dataset.Dataset, q *query.Query, ss *part
 				return true, nil
 			}
 			s.cands[d] = append(s.cands[d][:0], simil.Cand{Pos: fixed, Sim: c.AttrSim(d, fixed)})
+			if s.countHits {
+				s.local.memoHits++
+			}
 			continue
 		}
 		source := ss.ACPoints
@@ -264,17 +289,14 @@ func (s *searcher) prepareSubspace(ds *dataset.Dataset, q *query.Query, ss *part
 	return false, nil
 }
 
-// candidatesInto is simil.Context.Candidates with a reusable destination.
+// candidatesInto wraps simil.Context.CandidatesInto with the per-worker
+// buffer reuse and, on the shared-memo path, the hit accounting (every
+// AttrSim against a complete read-only table is a hit).
 func (s *searcher) candidatesInto(dim int, positions []int32, dst []simil.Cand) []simil.Cand {
-	c := s.sctx
-	cat := c.Ex.Categories[dim]
-	for _, pos := range positions {
-		if c.DS.Object(int(pos)).Category != cat {
-			continue
-		}
-		dst = append(dst, simil.Cand{Pos: pos, Sim: c.AttrSim(dim, pos)})
+	dst = s.sctx.CandidatesInto(dst, dim, positions)
+	if s.countHits {
+		s.local.memoHits += int64(len(dst))
 	}
-	simil.SortCandidates(dst)
 	return dst
 }
 
@@ -311,8 +333,7 @@ func (s *searcher) dfs(dim int, attrSum float64) error {
 			continue
 		}
 		s.tuple[dim] = cand.Pos
-		obj := c.DS.Object(int(cand.Pos))
-		added := s.scratch.Push(obj.Loc, cand.Sim)
+		added := s.scratch.Push(c.DS.Loc(int(cand.Pos)), cand.Sim)
 		if dim+1 == c.M {
 			s.local.tuples++
 			if c.NormOK(s.scratch.PrefixNorm()) {

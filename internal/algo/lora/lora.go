@@ -92,7 +92,7 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	work := make([]*partition.Subspace, 0, len(part.Subspaces))
 	for si := range part.Subspaces {
 		ss := &part.Subspaces[si]
-		if fixed0 >= 0 && !ss.Core.Contains(ds.Object(int(fixed0)).Loc) {
+		if fixed0 >= 0 && !ss.Core.Contains(ds.Loc(int(fixed0))) {
 			continue
 		}
 		work = append(work, ss)
@@ -105,6 +105,19 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	if workers > len(work) {
 		workers = len(work)
 	}
+	// Overlapping ac-subspaces re-bucket the same (dimension, object)
+	// pairs; memoize the attribute cosines across them — lazily when
+	// sequential, eagerly (read-only) when subspace workers share the
+	// Context. One subspace means no reuse, so skip the table.
+	if len(work) > 1 {
+		sp = opt.Trace.Start("lora.simprep")
+		if workers > 1 {
+			opt.Stats.AddAttrSimMemoMisses(sctx.PrepareMemoShared())
+		} else {
+			sctx.EnableMemo()
+		}
+		sp.End()
+	}
 	if workers <= 1 {
 		heap := topk.New(q.Params.K)
 		s := newSearcher(ctx, sctx, heap, q, opt)
@@ -113,6 +126,9 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 				return nil, err
 			}
 		}
+		h, mi := sctx.MemoCounters()
+		opt.Stats.AddAttrSimMemoHits(h)
+		opt.Stats.AddAttrSimMemoMisses(mi)
 		sp = opt.Trace.Start("topk.merge")
 		res := heap.Results()
 		sp.End()
@@ -160,24 +176,26 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 
 func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, q *query.Query, opt Options) *searcher {
 	return &searcher{
-		ctx:   ctx,
-		sctx:  sctx,
-		heap:  sink,
-		q:     q,
-		opt:   opt,
-		st:    opt.Stats,
-		tr:    opt.Trace,
-		tuple: make([]int32, sctx.M),
-		locs:  make([]geo.Point, sctx.M),
-		asims: make([]float64, sctx.M),
-		dist:  make([]float64, 0, sctx.Pairs),
+		ctx:  ctx,
+		sctx: sctx,
+		heap: sink,
+		q:    q,
+		opt:  opt,
+		// With a shared (eagerly filled) memo the Context counts nothing;
+		// each worker tallies its own hits in the local batch instead.
+		countHits: sctx.MemoShared(),
+		st:        opt.Stats,
+		tr:        opt.Trace,
+		tuple:     make([]int32, sctx.M),
+		asims:     make([]float64, sctx.M),
+		dist:      make([]float64, 0, sctx.Pairs),
 	}
 }
 
 // localCounters batch per-subspace statistics so hot loops touch plain
 // ints, not atomics.
 type localCounters struct {
-	candidates, sampledOut, cellTuples, prunedCells, pops, tuples, offered int64
+	candidates, sampledOut, cellTuples, prunedCells, pops, tuples, offered, memoHits int64
 }
 
 func (s *searcher) flushStats() {
@@ -188,19 +206,21 @@ func (s *searcher) flushStats() {
 	s.st.AddRankPops(s.local.pops)
 	s.st.AddTuples(s.local.tuples)
 	s.st.AddOffered(s.local.offered)
+	s.st.AddAttrSimMemoHits(s.local.memoHits)
 	s.local = localCounters{}
 }
 
 type searcher struct {
-	ctx   context.Context
-	sctx  *simil.Context
-	heap  topk.Sink
-	q     *query.Query
-	opt   Options
-	st    *stats.Stats
-	tr    *obs.Trace
-	local localCounters
-	steps int
+	ctx       context.Context
+	sctx      *simil.Context
+	heap      topk.Sink
+	q         *query.Query
+	opt       Options
+	countHits bool
+	st        *stats.Stats
+	tr        *obs.Trace
+	local     localCounters
+	steps     int
 	// pointDur accumulates time spent in pointEnum during the current
 	// cellDFS, so the cell- and point-level phases report disjointly.
 	pointDur time.Duration
@@ -217,7 +237,6 @@ type searcher struct {
 
 	// tuple assembly scratch
 	tuple []int32
-	locs  []geo.Point
 	asims []float64
 	dist  []float64
 }
@@ -287,7 +306,7 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 	// Bucket candidates per (dimension, cell); Point-Sample each bucket.
 	for d := 0; d < m; d++ {
 		if fixed := s.q.Example.FixedDim(d); fixed >= 0 {
-			loc := c.DS.Object(int(fixed)).Loc
+			loc := c.DS.Loc(int(fixed))
 			region := ss.AC
 			if d == 0 {
 				region = ss.Core
@@ -301,6 +320,9 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 				return nil // subspace cannot host the pinned object
 			}
 			cell := g.Cell(loc)
+			if s.countHits {
+				s.local.memoHits++
+			}
 			s.buckets[d][cell] = append(s.buckets[d][cell], simil.Cand{Pos: fixed, Sim: c.AttrSim(d, fixed)})
 			s.cellLists[d] = append(s.cellLists[d], scoredCell{cell: cell, score: s.buckets[d][cell][0].Sim})
 			continue
@@ -311,12 +333,14 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 		}
 		cat := c.Ex.Categories[d]
 		for _, pos := range source {
-			o := c.DS.Object(int(pos))
-			if o.Category != cat {
+			if c.DS.Category(int(pos)) != cat {
 				continue
 			}
 			s.local.candidates++
-			cell := g.Cell(o.Loc)
+			if s.countHits {
+				s.local.memoHits++
+			}
+			cell := g.Cell(c.DS.Loc(int(pos)))
 			s.buckets[d][cell] = append(s.buckets[d][cell], simil.Cand{Pos: pos, Sim: c.AttrSim(d, pos)})
 		}
 		for cell := 0; cell < nc; cell++ {
@@ -553,7 +577,6 @@ func (s *searcher) assembleTuple(lists [][]simil.Cand, ranks []int32) bool {
 	for d := 0; d < m; d++ {
 		cd := lists[d][ranks[d]]
 		s.tuple[d] = cd.Pos
-		s.locs[d] = c.DS.Object(int(cd.Pos)).Loc
 		s.asims[d] = cd.Sim
 	}
 	for i := 0; i < m; i++ {
@@ -564,7 +587,7 @@ func (s *searcher) assembleTuple(lists [][]simil.Cand, ranks []int32) bool {
 		}
 	}
 	s.local.tuples++
-	s.dist = c.DistVectorOf(s.locs, s.dist)
+	s.dist = c.DistVectorOfPositions(s.tuple, s.dist)
 	if !c.NormOK(geo.Norm(s.dist)) {
 		return false
 	}

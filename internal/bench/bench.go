@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -194,10 +195,16 @@ func WorkMap(s stats.Snapshot) map[string]int64 {
 
 // WorkTotal sums a record's work counters — the scalar benchdiff gates
 // on. Counters are deterministic for a fixed seed, so any drift is a real
-// behavior change, not noise.
+// behavior change, not noise. Cache-telemetry counters (the
+// "attr_sim_memo_" prefix) are excluded: memo hits measure cosines
+// *avoided*, not enumeration performed, and folding them in would report
+// phantom work against baselines recorded before the memo existed.
 func WorkTotal(m map[string]int64) int64 {
 	var t int64
-	for _, v := range m {
+	for name, v := range m {
+		if strings.HasPrefix(name, "attr_sim_memo_") {
+			continue
+		}
 		t += v
 	}
 	return t

@@ -29,6 +29,8 @@ func goldenFile() *File {
 	st.AddPrunedCellPrefixes(9)
 	st.AddRankPops(25)
 	st.AddSampledOut(110)
+	st.AddAttrSimMemoHits(640)
+	st.AddAttrSimMemoMisses(60)
 	return &File{
 		SchemaVersion: SchemaVersion,
 		Env: Env{
@@ -150,14 +152,18 @@ func TestLatencyOf(t *testing.T) {
 
 func TestWorkMapCoversEveryCounter(t *testing.T) {
 	m := WorkMap(stats.Snapshot{})
-	if len(m) != 10 {
-		t.Errorf("WorkMap has %d keys, want 10 (schema stability: zero counters stay present)", len(m))
+	if len(m) != 12 {
+		t.Errorf("WorkMap has %d keys, want 12 (schema stability: zero counters stay present)", len(m))
 	}
 	if _, ok := m["candidates"]; !ok {
 		t.Error("WorkMap missing candidates")
 	}
 	if WorkTotal(map[string]int64{"a": 2, "b": 3}) != 5 {
 		t.Error("WorkTotal broken")
+	}
+	// cache telemetry must not count as work: hits measure cosines avoided
+	if got := WorkTotal(map[string]int64{"candidates": 10, "attr_sim_memo_hits": 500, "attr_sim_memo_misses": 50}); got != 10 {
+		t.Errorf("WorkTotal with memo counters = %d, want 10", got)
 	}
 }
 

@@ -128,7 +128,7 @@ type Engine struct {
 func NewEngine(ds *dataset.Dataset) *Engine {
 	pts := make([]geo.Point, ds.Len())
 	for i := range pts {
-		pts[i] = ds.Object(i).Loc
+		pts[i] = ds.Loc(i)
 	}
 	return &Engine{ds: ds, pix: partition.NewIndex(pts)}
 }
@@ -224,7 +224,7 @@ func (e *Engine) Snap(p geo.Point, cat dataset.CategoryID, k int) []SnapResult {
 	var filter func(int32) bool
 	if cat != dataset.NoCategory {
 		filter = func(ref int32) bool {
-			return e.ds.Object(int(ref)).Category == cat
+			return e.ds.Category(int(ref)) == cat
 		}
 	}
 	nbs := e.pix.Tree().Nearest(p, k, filter)

@@ -36,6 +36,12 @@ type Object struct {
 }
 
 // Dataset is an immutable collection of objects plus derived indexes.
+//
+// Alongside the array-of-structs object slice, Build derives
+// structure-of-arrays views of the hot fields (coordinates, categories,
+// attribute norms, a flat attribute matrix): the similarity kernels scan
+// those contiguous slices instead of chasing ~70-byte Object structs per
+// candidate.
 type Dataset struct {
 	objects    []Object
 	categories []string
@@ -43,6 +49,13 @@ type Dataset struct {
 	byCategory [][]int32 // object positions per category
 	bounds     geo.Rect
 	attrDim    int
+
+	// SoA hot-path views, aligned with objects by position.
+	xs, ys    []float64    // coordinates
+	cats      []CategoryID // categories
+	attrNorms []float64    // Euclidean norms of the attribute vectors
+	catRank   []int32      // index of the position within byCategory[cat]
+	attrFlat  []float64    // row-major attribute matrix, stride attrDim
 }
 
 // Builder accumulates objects and category names before freezing them into
@@ -120,10 +133,33 @@ func (b *Builder) Build() (*Dataset, error) {
 		ds.catIndex = make(map[string]CategoryID)
 	}
 	ds.byCategory = make([][]int32, len(ds.categories))
+	n := len(ds.objects)
+	ds.xs = make([]float64, n)
+	ds.ys = make([]float64, n)
+	ds.cats = make([]CategoryID, n)
+	ds.attrNorms = make([]float64, n)
+	ds.catRank = make([]int32, n)
+	ds.attrFlat = make([]float64, n*ds.attrDim)
 	for i := range ds.objects {
 		o := &ds.objects[i]
 		ds.bounds = ds.bounds.ExtendPoint(o.Loc)
+		ds.catRank[i] = int32(len(ds.byCategory[o.Category]))
 		ds.byCategory[o.Category] = append(ds.byCategory[o.Category], int32(i))
+		ds.xs[i], ds.ys[i] = o.Loc.X, o.Loc.Y
+		ds.cats[i] = o.Category
+		if ds.attrDim > 0 {
+			// Repoint the object's attribute vector into the flat matrix:
+			// one contiguous allocation for the whole dataset, and Attr(i)
+			// stays aliased with Object(i).Attr.
+			row := ds.attrFlat[i*ds.attrDim : (i+1)*ds.attrDim : (i+1)*ds.attrDim]
+			copy(row, o.Attr)
+			o.Attr = row
+		}
+		var sq float64
+		for _, a := range o.Attr {
+			sq += a * a
+		}
+		ds.attrNorms[i] = math.Sqrt(sq)
 	}
 	return ds, nil
 }
@@ -140,6 +176,37 @@ func (d *Dataset) AttrDim() int { return d.attrDim }
 
 // Object returns the object at position i (not by ID).
 func (d *Dataset) Object(i int) *Object { return &d.objects[i] }
+
+// Loc returns the location of the object at position i, read from the
+// structure-of-arrays coordinate slices (no Object struct load).
+func (d *Dataset) Loc(i int) geo.Point { return geo.Point{X: d.xs[i], Y: d.ys[i]} }
+
+// Coords returns the parallel coordinate slices, aligned with object
+// positions. Callers must not modify them; they feed the position-indexed
+// distance kernels (geo.DistVectorAt).
+func (d *Dataset) Coords() (xs, ys []float64) { return d.xs, d.ys }
+
+// Category returns the category of the object at position i from the flat
+// category slice — the hot-path form of Object(i).Category.
+func (d *Dataset) Category(i int) CategoryID { return d.cats[i] }
+
+// Attr returns the attribute vector of the object at position i as a row
+// of the flat attribute matrix. Callers must not modify it.
+func (d *Dataset) Attr(i int) []float64 {
+	return d.attrFlat[i*d.attrDim : (i+1)*d.attrDim : (i+1)*d.attrDim]
+}
+
+// AttrNorm returns the precomputed Euclidean norm of the attribute vector
+// at position i. It equals vectormath.Norm(Object(i).Attr) bit-for-bit
+// (same accumulation order), so cosine kernels can divide by it instead of
+// re-deriving it per candidate.
+func (d *Dataset) AttrNorm(i int) float64 { return d.attrNorms[i] }
+
+// CategoryRank returns the index of position i within
+// CategoryObjects(Category(i)) — a dense per-category numbering the
+// query-scoped similarity memo uses to key its table by candidate rather
+// than by raw position.
+func (d *Dataset) CategoryRank(i int) int32 { return d.catRank[i] }
 
 // Objects returns the backing object slice. Callers must not modify it.
 func (d *Dataset) Objects() []Object { return d.objects }

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/geo"
+)
+
+func buildRandom(t *testing.T, n int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(53))
+	b := &Builder{}
+	for c := 0; c < 4; c++ {
+		b.Category(string(rune('a' + c)))
+	}
+	for i := 0; i < n; i++ {
+		b.Add(Object{
+			ID:       int64(i),
+			Loc:      geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			Category: CategoryID(rng.Intn(4)),
+			Attr:     []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+		})
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// The SoA views must agree with the canonical Object records — they are the
+// same data in a second layout, not a copy that can go stale.
+func TestSoAViewsMatchObjects(t *testing.T) {
+	ds := buildRandom(t, 150)
+	xs, ys := ds.Coords()
+	if len(xs) != ds.Len() || len(ys) != ds.Len() {
+		t.Fatalf("Coords lengths %d/%d, want %d", len(xs), len(ys), ds.Len())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		o := ds.Object(i)
+		if got := ds.Loc(i); got != o.Loc {
+			t.Fatalf("Loc(%d) = %v, object has %v", i, got, o.Loc)
+		}
+		if xs[i] != o.Loc.X || ys[i] != o.Loc.Y {
+			t.Fatalf("Coords[%d] = (%v,%v), object at %v", i, xs[i], ys[i], o.Loc)
+		}
+		if got := ds.Category(i); got != o.Category {
+			t.Fatalf("Category(%d) = %d, object has %d", i, got, o.Category)
+		}
+		var sq float64
+		for _, a := range o.Attr {
+			sq += a * a
+		}
+		if got := ds.AttrNorm(i); got != math.Sqrt(sq) {
+			t.Fatalf("AttrNorm(%d) = %v, want %v", i, got, math.Sqrt(sq))
+		}
+	}
+}
+
+// Attr(i) and Object(i).Attr must alias the same backing row: the builder
+// repoints object attributes into the flat matrix rather than duplicating.
+func TestAttrRowsAliasObjects(t *testing.T) {
+	ds := buildRandom(t, 20)
+	for i := 0; i < ds.Len(); i++ {
+		row := ds.Attr(i)
+		obj := ds.Object(i).Attr
+		if len(row) != len(obj) {
+			t.Fatalf("Attr(%d) len %d, object attr len %d", i, len(row), len(obj))
+		}
+		if len(row) > 0 && &row[0] != &obj[0] {
+			t.Fatalf("Attr(%d) does not alias the object's attribute slice", i)
+		}
+	}
+}
+
+// CategoryRank must invert CategoryObjects: the r-th listed object of a
+// category has rank r. The memo tables index by this rank.
+func TestCategoryRankInvertsCategoryObjects(t *testing.T) {
+	ds := buildRandom(t, 150)
+	for c := 0; c < ds.NumCategories(); c++ {
+		for r, pos := range ds.CategoryObjects(CategoryID(c)) {
+			if got := ds.CategoryRank(int(pos)); int(got) != r {
+				t.Fatalf("CategoryRank(%d) = %d, want %d (category %d)", pos, got, r, c)
+			}
+		}
+	}
+}
+
+// Datasets without attributes keep nil Attr slices — the SoA repoint must
+// not materialise empty non-nil rows.
+func TestSoANoAttributes(t *testing.T) {
+	b := &Builder{}
+	b.Category("only")
+	b.Add(Object{ID: 0, Loc: geo.Point{X: 1, Y: 1}, Category: 0})
+	b.Add(Object{ID: 1, Loc: geo.Point{X: 2, Y: 2}, Category: 0})
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.AttrDim() != 0 {
+		t.Fatalf("AttrDim = %d", ds.AttrDim())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if len(ds.Attr(i)) != 0 {
+			t.Errorf("Attr(%d) = %v, want empty", i, ds.Attr(i))
+		}
+		if ds.AttrNorm(i) != 0 {
+			t.Errorf("AttrNorm(%d) = %v, want 0", i, ds.AttrNorm(i))
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"spatialseq/internal/core"
 	"spatialseq/internal/obs"
 	"spatialseq/internal/query"
+	"spatialseq/internal/stats"
 	"spatialseq/internal/workload"
 )
 
@@ -33,7 +34,7 @@ func PhaseBreakdown(ctx context.Context, w io.Writer, f Family, n int, cfg Confi
 	rp.println(tw, "algo\tphase\ttotal\tcalls\tshare")
 	for _, algo := range []core.Algorithm{core.DFSPrune, core.HSP, core.LORA} {
 		tr := obs.NewTrace()
-		ran, err := runTraced(ctx, eng, queries, algo, tr, cfg.Budget)
+		ran, work, err := runTraced(ctx, eng, queries, algo, tr, cfg.Budget)
 		if err != nil {
 			return err
 		}
@@ -53,30 +54,39 @@ func PhaseBreakdown(ctx context.Context, w io.Writer, f Family, n int, cfg Confi
 			}
 			rp.printf(tw, "%s\t%s\t%.2fms\t%d\t%.1f%%\n", algo, p.Name, p.DurationMS, p.Count, share)
 		}
+		// The simprep phase above says what the memo *cost*; the hit/miss
+		// counters say what it *bought* (each hit is one cosine not
+		// recomputed).
+		if hits, misses := work.AttrSimMemoHits, work.AttrSimMemoMisses; hits+misses > 0 {
+			rp.printf(tw, "%s\tattr-sim memo\thits %d\tmisses %d\t\n", algo, hits, misses)
+		}
 	}
 	return rp.flush(tw)
 }
 
 // runTraced runs queries under algo until the budget expires, recording
-// phases into tr. It returns how many queries completed.
-func runTraced(ctx context.Context, eng *core.Engine, queries []*query.Query, algo core.Algorithm, tr *obs.Trace, budget time.Duration) (int, error) {
+// phases into tr. It returns how many queries completed and the summed
+// work counters.
+func runTraced(ctx context.Context, eng *core.Engine, queries []*query.Query, algo core.Algorithm, tr *obs.Trace, budget time.Duration) (int, stats.Snapshot, error) {
 	deadline := time.Now().Add(budget)
 	ran := 0
+	var work stats.Snapshot
 	for _, q := range queries {
 		if time.Now().After(deadline) {
 			break
 		}
 		qctx, cancel := context.WithDeadline(ctx, deadline)
 		qq := *q
-		_, err := eng.Search(qctx, &qq, algo, core.Options{Trace: tr})
+		res, err := eng.Search(qctx, &qq, algo, core.Options{Trace: tr, CollectStats: true})
 		cancel()
 		if err != nil {
 			if qctx.Err() != nil && ctx.Err() == nil {
 				break // budget exhausted mid-query; keep what we have
 			}
-			return ran, err
+			return ran, work, err
 		}
+		work = work.Add(res.Stats)
 		ran++
 	}
-	return ran, nil
+	return ran, work, nil
 }

@@ -48,6 +48,33 @@ func DistVector(pts []Point, dst []float64) []float64 {
 	return dst
 }
 
+// DistVectorAt writes the distance vector of the tuple whose i-th point is
+// (xs[idx[i]], ys[idx[i]]) into dst (resized as needed) and returns it.
+// Layout follows PairIndex. It is the structure-of-arrays companion of
+// DistVector: callers that keep coordinates in flat parallel slices (the
+// dataset's hot-path layout) avoid gathering geo.Points first, so the
+// pairwise loop reads contiguous float64 arrays. The arithmetic matches
+// Point.Dist expression-for-expression, so results are bit-identical to
+// DistVector over the gathered points.
+func DistVectorAt(xs, ys []float64, idx []int32, dst []float64) []float64 {
+	n := PairCount(len(idx))
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	k := 0
+	for j := 1; j < len(idx); j++ {
+		xj, yj := xs[idx[j]], ys[idx[j]]
+		for i := 0; i < j; i++ {
+			dx := xs[idx[i]] - xj
+			dy := ys[idx[i]] - yj
+			dst[k] = math.Sqrt(dx*dx + dy*dy)
+			k++
+		}
+	}
+	return dst
+}
+
 // Norm returns the 2-norm of v.
 func Norm(v []float64) float64 {
 	var s float64

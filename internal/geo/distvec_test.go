@@ -1,0 +1,108 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// DistVectorAt must be bit-identical to DistVector over the gathered points
+// — the SoA kernel replaces the AoS one on the hot path, so any drift would
+// change tuple scores.
+func TestDistVectorAtMatchesDistVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	const n = 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+	}
+	for trial := 0; trial < 300; trial++ {
+		m := 2 + rng.Intn(5)
+		idx := make([]int32, m)
+		pts := make([]Point, m)
+		for i := range idx {
+			idx[i] = int32(rng.Intn(n))
+			pts[i] = Point{X: xs[idx[i]], Y: ys[idx[i]]}
+		}
+		want := DistVector(pts, nil)
+		got := DistVectorAt(xs, ys, idx, nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d entry %d: DistVectorAt = %v, DistVector = %v", trial, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDistVectorAtResizesDst(t *testing.T) {
+	xs := []float64{0, 3, 0}
+	ys := []float64{0, 4, 8}
+	idx := []int32{0, 1, 2}
+	// too small: reallocated
+	got := DistVectorAt(xs, ys, idx, make([]float64, 0, 1))
+	if len(got) != 3 || got[0] != 5 {
+		t.Errorf("DistVectorAt = %v", got)
+	}
+	// big enough: reused in place
+	dst := make([]float64, 0, 8)
+	got = DistVectorAt(xs, ys, idx, dst)
+	if &got[0] != &dst[:1][0] {
+		t.Error("DistVectorAt should reuse a sufficient dst")
+	}
+	// degenerate tuples
+	if out := DistVectorAt(xs, ys, nil, nil); len(out) != 0 {
+		t.Errorf("empty tuple = %v", out)
+	}
+	if out := DistVectorAt(xs, ys, idx[:1], nil); len(out) != 0 {
+		t.Errorf("single tuple = %v", out)
+	}
+}
+
+var benchDistSink []float64
+
+func benchCoords(n int) (xs, ys []float64, pts []Point) {
+	rng := rand.New(rand.NewSource(8))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	pts = make([]Point, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+		pts[i] = Point{X: xs[i], Y: ys[i]}
+	}
+	return xs, ys, pts
+}
+
+func BenchmarkDistVector(b *testing.B) {
+	_, _, pts := benchCoords(64)
+	tuple := make([]Point, 5)
+	dst := make([]float64, 0, PairCount(len(tuple)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := range tuple {
+			tuple[d] = pts[(i+d*7)%len(pts)]
+		}
+		dst = DistVector(tuple, dst)
+	}
+	benchDistSink = dst
+}
+
+func BenchmarkDistVectorAt(b *testing.B) {
+	xs, ys, _ := benchCoords(64)
+	idx := make([]int32, 5)
+	dst := make([]float64, 0, PairCount(len(idx)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := range idx {
+			idx[d] = int32((i + d*7) % len(xs))
+		}
+		dst = DistVectorAt(xs, ys, idx, dst)
+	}
+	benchDistSink = dst
+}

@@ -47,6 +47,23 @@ type Context struct {
 	GraphDiam int
 	// Metric is the example's distance function (nil = Euclidean).
 	Metric query.Metric
+
+	// exNorms[d] is the precomputed Euclidean norm of Ex.Attrs[d], so
+	// AttrSim needs only a dot product per candidate (CosPrenormed).
+	exNorms []float64
+
+	// Attribute-similarity memo (see EnableMemo / PrepareMemoShared).
+	// The table is keyed (dimension, category rank): memo[memoOff[d]+r]
+	// holds SIMa between example dimension d and the r-th object of d's
+	// category, NaN when not yet computed. memoShared marks the table as
+	// eagerly filled and read-only, safe to share across subspace workers;
+	// the hit/miss counters are only maintained in the single-goroutine
+	// lazy mode.
+	memo       []float64
+	memoOff    []int
+	memoShared bool
+	memoHits   int64
+	memoMisses int64
 }
 
 // Dist measures the distance between two locations under the query metric.
@@ -89,6 +106,10 @@ func NewContext(ds *dataset.Dataset, q *query.Query) *Context {
 	for j := len(x) - 1; j >= 0; j-- {
 		suffix[j] = suffix[j+1] + xn[j]*xn[j]
 	}
+	exNorms := make([]float64, m)
+	for d, a := range ex.Attrs {
+		exNorms[d] = vectormath.Norm(a)
+	}
 	return &Context{
 		DS:        ds,
 		Ex:        ex,
@@ -103,6 +124,7 @@ func NewContext(ds *dataset.Dataset, q *query.Query) *Context {
 		Active:    active,
 		GraphDiam: diam,
 		Metric:    ex.Metric,
+		exNorms:   exNorms,
 	}
 }
 
@@ -139,10 +161,134 @@ func (c *Context) DistVectorOf(locs []geo.Point, dst []float64) []float64 {
 	return dst
 }
 
+// DistVectorOfPositions writes the masked distance vector of the tuple of
+// dataset positions into dst (resized) and returns it. On the common path
+// (no skipped pairs, Euclidean metric) it runs the position-indexed SoA
+// kernel over the dataset's contiguous coordinate slices instead of
+// gathering geo.Points first.
+func (c *Context) DistVectorOfPositions(tuple []int32, dst []float64) []float64 {
+	if c.Active == nil && c.Metric == nil {
+		xs, ys := c.DS.Coords()
+		return geo.DistVectorAt(xs, ys, tuple, dst)
+	}
+	dst = dst[:0]
+	for j := 1; j < len(tuple); j++ {
+		pj := c.DS.Loc(int(tuple[j]))
+		for i := 0; i < j; i++ {
+			if c.Active == nil || c.Active[geo.PairIndex(i, j)] {
+				dst = append(dst, c.Dist(c.DS.Loc(int(tuple[i])), pj))
+			}
+		}
+	}
+	return dst
+}
+
 // AttrSim returns SIMa between example dimension dim and the dataset object
-// at position pos.
+// at position pos. It equals vectormath.Cos(Ex.Attrs[dim], object attrs)
+// bit-for-bit, but costs only a dot product: both norms are precomputed
+// (dataset build / NewContext). With the memo enabled each (dim, pos)
+// cosine is computed at most once per query.
 func (c *Context) AttrSim(dim int, pos int32) float64 {
-	return vectormath.Cos(c.Ex.Attrs[dim], c.DS.Object(int(pos)).Attr)
+	if c.memo != nil && c.DS.Category(int(pos)) == c.Ex.Categories[dim] {
+		idx := c.memoOff[dim] + int(c.DS.CategoryRank(int(pos)))
+		//lint:ignore floatcmp v == v is the canonical NaN-sentinel test (false iff v is NaN), not a value comparison
+		if v := c.memo[idx]; v == v {
+			if !c.memoShared {
+				c.memoHits++
+			}
+			return v
+		}
+		v := c.attrSimDirect(dim, pos)
+		if !c.memoShared {
+			// Lazy single-goroutine fill; a shared (eagerly filled)
+			// table stays read-only so workers never race.
+			c.memoMisses++
+			c.memo[idx] = v
+		}
+		return v
+	}
+	return c.attrSimDirect(dim, pos)
+}
+
+// attrSimDirect is the uncached kernel: one dot product over the flat
+// attribute row plus the prenormed cosine.
+func (c *Context) attrSimDirect(dim int, pos int32) float64 {
+	dot := vectormath.Dot(c.Ex.Attrs[dim], c.DS.Attr(int(pos)))
+	return vectormath.CosPrenormed(dot, c.exNorms[dim], c.DS.AttrNorm(int(pos)))
+}
+
+// memoSize lays out the memo offsets (one dense segment per example
+// dimension, sized by the dimension's category population) and returns the
+// total entry count.
+func (c *Context) memoSize() int {
+	if c.memoOff == nil {
+		c.memoOff = make([]int, c.M+1)
+		for d := 0; d < c.M; d++ {
+			c.memoOff[d+1] = c.memoOff[d] + len(c.DS.CategoryObjects(c.Ex.Categories[d]))
+		}
+	}
+	return c.memoOff[c.M]
+}
+
+// EnableMemo switches AttrSim to lazily memoized mode: the first lookup of
+// each (dimension, candidate) computes and stores the cosine, later
+// lookups are table reads. The table is NaN-initialised and must only be
+// filled from a single goroutine — parallel searches use PrepareMemoShared
+// instead. Worst-case memory is m x N float64s; the category-dense layout
+// shrinks that to the query's actual candidate universe
+// (sum over dimensions of the matching category's population).
+func (c *Context) EnableMemo() {
+	if c.memo != nil {
+		return
+	}
+	n := c.memoSize()
+	c.memo = make([]float64, n)
+	nan := math.NaN()
+	for i := range c.memo {
+		c.memo[i] = nan
+	}
+}
+
+// PrepareMemoShared eagerly fills the memo for every (dimension, matching
+// candidate) pair — dimensions pinned to a fixed object get only that
+// object's entry — and freezes it read-only, so concurrent subspace
+// workers can share the Context without racing. It returns how many
+// cosines were computed (the query's memo misses; every later AttrSim is a
+// hit). Calling it again is a no-op returning 0.
+func (c *Context) PrepareMemoShared() int64 {
+	if c.memoShared {
+		return 0
+	}
+	c.EnableMemo()
+	var computed int64
+	for d := 0; d < c.M; d++ {
+		if fixed := c.Ex.FixedDim(d); fixed >= 0 {
+			idx := c.memoOff[d] + int(c.DS.CategoryRank(int(fixed)))
+			c.memo[idx] = c.attrSimDirect(d, fixed)
+			computed++
+			continue
+		}
+		for r, pos := range c.DS.CategoryObjects(c.Ex.Categories[d]) {
+			c.memo[c.memoOff[d]+r] = c.attrSimDirect(d, pos)
+			computed++
+		}
+	}
+	// Lazy fills that happened before the eager pass are already counted
+	// in memoMisses; don't double-report them.
+	computed -= c.memoMisses
+	c.memoShared = true
+	return computed
+}
+
+// MemoShared reports whether the memo is in eager read-only mode (workers
+// then count their own hits; see MemoCounters).
+func (c *Context) MemoShared() bool { return c.memoShared }
+
+// MemoCounters returns the lazy-mode hit/miss counts. In shared mode the
+// misses are returned by PrepareMemoShared and hits are counted by the
+// callers (every AttrSim against a complete table is a hit).
+func (c *Context) MemoCounters() (hits, misses int64) {
+	return c.memoHits, c.memoMisses
 }
 
 // SpatialSim returns SIMs between the example and a tuple given the tuple's
@@ -350,14 +496,11 @@ func (c *Context) SimOfPositions(tuple []int32) (sim float64, ok bool) {
 			}
 		}
 	}
-	locs := make([]geo.Point, len(tuple))
 	attr := make([]float64, len(tuple))
 	for d, pos := range tuple {
-		o := c.DS.Object(int(pos))
-		locs[d] = o.Loc
 		attr[d] = c.AttrSim(d, pos)
 	}
-	y := c.DistVectorOf(locs, nil)
+	y := c.DistVectorOfPositions(tuple, nil)
 	if !c.NormOK(geo.Norm(y)) {
 		return 0, false
 	}

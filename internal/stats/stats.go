@@ -36,6 +36,12 @@ type Stats struct {
 	// SampledOut is the number of candidate points discarded by
 	// query-dependent sampling.
 	SampledOut atomic.Int64
+	// AttrSimMemoHits counts attribute-similarity lookups served from the
+	// query-scoped memo table (cosines *not* recomputed).
+	AttrSimMemoHits atomic.Int64
+	// AttrSimMemoMisses counts attribute cosines actually computed while
+	// the memo was enabled (lazy fills plus eager precompute).
+	AttrSimMemoMisses atomic.Int64
 }
 
 // nil-safe increment helpers; algorithms call these unconditionally.
@@ -110,6 +116,20 @@ func (s *Stats) AddSampledOut(n int64) {
 	}
 }
 
+// AddAttrSimMemoHits increments the memo-hit counter.
+func (s *Stats) AddAttrSimMemoHits(n int64) {
+	if s != nil {
+		s.AttrSimMemoHits.Add(n)
+	}
+}
+
+// AddAttrSimMemoMisses increments the memo-miss counter.
+func (s *Stats) AddAttrSimMemoMisses(n int64) {
+	if s != nil {
+		s.AttrSimMemoMisses.Add(n)
+	}
+}
+
 // Snapshot is a plain-value copy for reporting. The JSON tags are the
 // wire names the search API uses; Each exposes the same names to the
 // server's cumulative work metrics, so evaluation counters and
@@ -125,6 +145,11 @@ type Snapshot struct {
 	PrunedCellPrefixes int64 `json:"pruned_cell_prefixes"`
 	RankPops           int64 `json:"rank_pops"`
 	SampledOut         int64 `json:"sampled_out"`
+	// The memo counters are cache telemetry, not enumeration work: hits
+	// measure cosines *avoided*. bench.WorkTotal excludes the
+	// "attr_sim_memo_" prefix for exactly that reason.
+	AttrSimMemoHits   int64 `json:"attr_sim_memo_hits"`
+	AttrSimMemoMisses int64 `json:"attr_sim_memo_misses"`
 }
 
 // Each calls f with every counter's snake_case name and value, in
@@ -141,6 +166,8 @@ func (s Snapshot) Each(f func(name string, value int64)) {
 	f("pruned_cell_prefixes", s.PrunedCellPrefixes)
 	f("rank_pops", s.RankPops)
 	f("sampled_out", s.SampledOut)
+	f("attr_sim_memo_hits", s.AttrSimMemoHits)
+	f("attr_sim_memo_misses", s.AttrSimMemoMisses)
 }
 
 // Add returns the field-wise sum of s and o. The evaluation harness uses
@@ -156,6 +183,8 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.PrunedCellPrefixes += o.PrunedCellPrefixes
 	s.RankPops += o.RankPops
 	s.SampledOut += o.SampledOut
+	s.AttrSimMemoHits += o.AttrSimMemoHits
+	s.AttrSimMemoMisses += o.AttrSimMemoMisses
 	return s
 }
 
@@ -175,5 +204,7 @@ func (s *Stats) Snapshot() Snapshot {
 		PrunedCellPrefixes: s.PrunedCellPrefixes.Load(),
 		RankPops:           s.RankPops.Load(),
 		SampledOut:         s.SampledOut.Load(),
+		AttrSimMemoHits:    s.AttrSimMemoHits.Load(),
+		AttrSimMemoMisses:  s.AttrSimMemoMisses.Load(),
 	}
 }

@@ -30,8 +30,8 @@ func TestSnapshotAdd(t *testing.T) {
 		}
 		i++
 	})
-	if i != 10 {
-		t.Errorf("Each visited %d counters, want 10", i)
+	if i != 12 {
+		t.Errorf("Each visited %d counters, want 12", i)
 	}
 }
 

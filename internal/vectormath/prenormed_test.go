@@ -1,0 +1,99 @@
+package vectormath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCosPrenormedZeroNormConventions(t *testing.T) {
+	if got := CosPrenormed(0, 0, 0); got != 1 {
+		t.Errorf("CosPrenormed(0,0,0) = %g, want 1", got)
+	}
+	if got := CosPrenormed(0, 0, 2.5); got != 0 {
+		t.Errorf("CosPrenormed(0,0,2.5) = %g, want 0", got)
+	}
+	if got := CosPrenormed(0, 1.5, 0); got != 0 {
+		t.Errorf("CosPrenormed(0,1.5,0) = %g, want 0", got)
+	}
+	// clamping against rounding excursions
+	if got := CosPrenormed(1.0000001, 1, 1); got != 1 {
+		t.Errorf("CosPrenormed above 1 should clamp, got %g", got)
+	}
+	if got := CosPrenormed(-1.0000001, 1, 1); got != -1 {
+		t.Errorf("CosPrenormed below -1 should clamp, got %g", got)
+	}
+}
+
+// The whole point of the decomposition: with dot == Dot(a,b), na == Norm(a)
+// and nb == Norm(b), CosPrenormed must reproduce Cos bit-for-bit — the
+// memoized attribute similarities must be indistinguishable from the
+// unfactored kernel, or enumeration order (and thus results) could drift.
+func TestCosPrenormedMatchesCosBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(12)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64() * 10
+			b[i] = rng.Float64() * 10
+		}
+		// hit the zero-norm conventions from the same path
+		switch trial % 50 {
+		case 0:
+			for i := range a {
+				a[i] = 0
+			}
+		case 1:
+			for i := range b {
+				b[i] = 0
+			}
+		case 2:
+			for i := range a {
+				a[i], b[i] = 0, 0
+			}
+		}
+		want := Cos(a, b)
+		got := CosPrenormed(Dot(a, b), Norm(a), Norm(b))
+		if got != want {
+			t.Fatalf("trial %d: CosPrenormed = %v, Cos = %v (a=%v b=%v)", trial, got, want, a, b)
+		}
+	}
+}
+
+var benchSink float64
+
+func benchVectors(n int) (a, b []float64) {
+	rng := rand.New(rand.NewSource(7))
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	return a, b
+}
+
+func BenchmarkCos(b *testing.B) {
+	x, y := benchVectors(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Cos(x, y)
+	}
+	benchSink = s
+}
+
+// The hot-path replacement: norms amortised, one Dot per score.
+func BenchmarkCosPrenormed(b *testing.B) {
+	x, y := benchVectors(16)
+	nx, ny := Norm(x), Norm(y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += CosPrenormed(Dot(x, y), nx, ny)
+	}
+	benchSink = s
+}

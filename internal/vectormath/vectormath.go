@@ -67,6 +67,28 @@ func Cos(a, b []float64) float64 {
 	return clamp(c, -1, 1)
 }
 
+// CosPrenormed returns the cosine similarity given a precomputed dot
+// product and the two (non-squared) vector norms, clamped to [-1, 1]. It is
+// the hot-path companion of Cos for callers that amortise the norms — the
+// dataset precomputes per-object attribute norms once at build time and the
+// similarity context precomputes per-example-dimension norms once per
+// query, so scoring a candidate degenerates to one Dot plus this division.
+//
+// The zero-norm conventions match Cos exactly: 1 when both norms are zero,
+// 0 when exactly one is. Given na == Norm(a), nb == Norm(b) and
+// dot == Dot(a, b), CosPrenormed(dot, na, nb) == Cos(a, b) bit-for-bit:
+// Cos evaluates the same dot / (sqrt * sqrt) expression over identically
+// ordered accumulations.
+func CosPrenormed(dot, na, nb float64) float64 {
+	if na == 0 && nb == 0 {
+		return 1
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return clamp(dot/(na*nb), -1, 1)
+}
+
 // CosChecked is Cos with an error instead of a panic on length mismatch.
 func CosChecked(a, b []float64) (float64, error) {
 	if len(a) != len(b) {

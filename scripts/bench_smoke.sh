@@ -21,4 +21,10 @@ go run ./cmd/seqbench \
 
 go run ./cmd/benchdiff -gate "$out" "$out" >/dev/null
 
+# Kernel micro-benchmarks in short mode: a fixed tiny iteration count keeps
+# this a compile-and-run smoke (does the harness still build, do the
+# zero-alloc kernels still report 0 allocs/op), not a timing measurement.
+go test -run '^$' -bench . -benchtime 100x \
+    ./internal/vectormath ./internal/geo ./internal/simil >/dev/null
+
 echo "bench smoke: wrote $out ($(go run ./cmd/benchdiff "$out" "$out" | tail -1))"
