@@ -9,16 +9,10 @@ import (
 	"spatialseq/internal/algo/brute"
 	"spatialseq/internal/query"
 	"spatialseq/internal/testutil"
-	"spatialseq/internal/topk"
 )
 
-func simsOf(entries []topk.Entry) []float64 {
-	out := make([]float64, len(entries))
-	for i, e := range entries {
-		out[i] = e.Sim
-	}
-	return out
-}
+// simsOf is the shared helper from internal/testutil.
+var simsOf = testutil.Sims
 
 // The cross-algorithm equivalence suite lives in internal/algo/hsp; this
 // file covers DFS-Prune-specific behaviours.

@@ -2,7 +2,6 @@ package hsp
 
 import (
 	"context"
-	"math"
 	"math/rand"
 	"testing"
 
@@ -10,39 +9,17 @@ import (
 	"spatialseq/internal/algo/dfsprune"
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/geo"
-	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/testutil"
-	"spatialseq/internal/topk"
 )
 
-func buildIndex(ds *dataset.Dataset) *partition.Index {
-	pts := make([]geo.Point, ds.Len())
-	for i := range pts {
-		pts[i] = ds.Object(i).Loc
-	}
-	return partition.NewIndex(pts)
-}
-
-func simsOf(entries []topk.Entry) []float64 {
-	out := make([]float64, len(entries))
-	for i, e := range entries {
-		out[i] = e.Sim
-	}
-	return out
-}
-
-func simsEqual(a, b []float64, tol float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if math.Abs(a[i]-b[i]) > tol {
-			return false
-		}
-	}
-	return true
-}
+// buildIndex, simsOf and simsEqual are the shared helpers from
+// internal/testutil; the aliases keep this file's call sites short.
+var (
+	buildIndex = testutil.BuildIndex
+	simsOf     = testutil.Sims
+	simsEqual  = testutil.SimsEqual
+)
 
 // TestExactnessAgainstBruteForce is the central correctness test: HSP and
 // DFS-Prune must return the same top-k similarities as naive exhaustive

@@ -7,29 +7,17 @@ import (
 	"testing"
 
 	"spatialseq/internal/algo/brute"
-	"spatialseq/internal/dataset"
 	"spatialseq/internal/geo"
-	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/testutil"
 	"spatialseq/internal/topk"
 )
 
-func buildIndex(ds *dataset.Dataset) *partition.Index {
-	pts := make([]geo.Point, ds.Len())
-	for i := range pts {
-		pts[i] = ds.Object(i).Loc
-	}
-	return partition.NewIndex(pts)
-}
-
-func simsOf(entries []topk.Entry) []float64 {
-	out := make([]float64, len(entries))
-	for i, e := range entries {
-		out[i] = e.Sim
-	}
-	return out
-}
+// buildIndex and simsOf are the shared helpers from internal/testutil.
+var (
+	buildIndex = testutil.BuildIndex
+	simsOf     = testutil.Sims
+)
 
 // TestTheorem3Bound verifies the paper's accuracy guarantee: with sampling
 // disabled, each of LORA's top-k similarities is within the

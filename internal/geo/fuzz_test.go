@@ -1,0 +1,92 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDistVector checks the distance-vector kernels against each other on
+// arbitrary coordinates: the AoS path (DistVector over Points), the SoA
+// path (DistVectorAt over flat arrays — documented bit-identical), the
+// PairIndex addressing scheme and the two norm implementations.
+func FuzzDistVector(f *testing.F) {
+	f.Add(0.0, 0.0, 3.0, 4.0, 1.0, 1.0, -5.0, 2.0, uint64(0))
+	f.Add(1.5, -2.5, 1.5, -2.5, 0.0, 0.0, 8.0, 8.0, uint64(1))
+	f.Add(1e154, 1e154, -1e154, -1e154, 0.0, 1.0, 2.0, 3.0, uint64(2))
+	f.Add(0.1, 0.2, 0.30000000000000004, 0.4, 1e-300, -1e-300, 7.0, 7.0, uint64(5))
+	f.Fuzz(func(t *testing.T, x0, y0, x1, y1, x2, y2, x3, y3 float64, n uint64) {
+		coords := []float64{x0, y0, x1, y1, x2, y2, x3, y3}
+		for _, c := range coords {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Skip("datasets only hold finite coordinates (Builder rejects the rest)")
+			}
+		}
+		m := 2 + int(n%3)
+		pts := make([]Point, m)
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		idx := make([]int32, m)
+		for i := 0; i < m; i++ {
+			pts[i] = Point{X: coords[2*i], Y: coords[2*i+1]}
+			xs[i], ys[i] = pts[i].X, pts[i].Y
+			idx[i] = int32(i)
+		}
+
+		dv := DistVector(pts, nil)
+		if len(dv) != PairCount(m) {
+			t.Fatalf("len(DistVector) = %d, want PairCount(%d) = %d", len(dv), m, PairCount(m))
+		}
+		soa := DistVectorAt(xs, ys, idx, nil)
+		if len(soa) != len(dv) {
+			t.Fatalf("SoA length %d != AoS length %d", len(soa), len(dv))
+		}
+		for k := range dv {
+			if math.Float64bits(dv[k]) != math.Float64bits(soa[k]) {
+				t.Fatalf("entry %d: DistVector %.17g, DistVectorAt %.17g (documented bit-identical)", k, dv[k], soa[k])
+			}
+			if !(dv[k] >= 0) {
+				t.Fatalf("entry %d: negative or NaN distance %g from finite coordinates", k, dv[k])
+			}
+		}
+
+		// PairIndex must bijectively address the vector, and each slot must
+		// hold exactly the distance of its pair.
+		seen := make([]bool, len(dv))
+		for j := 1; j < m; j++ {
+			for i := 0; i < j; i++ {
+				k := PairIndex(i, j)
+				if k < 0 || k >= len(dv) || seen[k] {
+					t.Fatalf("PairIndex(%d,%d) = %d is out of range or duplicated", i, j, k)
+				}
+				seen[k] = true
+				if want := pts[i].Dist(pts[j]); math.Float64bits(dv[k]) != math.Float64bits(want) {
+					t.Fatalf("dv[PairIndex(%d,%d)] = %.17g, want Dist = %.17g", i, j, dv[k], want)
+				}
+				if ki := PairIndex(j, i); ki != k {
+					t.Fatalf("PairIndex must be symmetric: (%d,%d)=%d but (%d,%d)=%d", i, j, k, j, i, ki)
+				}
+			}
+		}
+
+		// The two norms accumulate differently (sum of DistSq vs squared
+		// sqrt of DistSq), so allow relative drift; overflow must agree.
+		nv, nt := Norm(dv), TupleNorm(pts)
+		switch {
+		case math.IsInf(nv, 1) || math.IsInf(nt, 1):
+			if nv != nt {
+				t.Fatalf("norm overflow disagreement: Norm(dv) = %g, TupleNorm = %g", nv, nt)
+			}
+		case nv < 1e-140 || nt < 1e-140:
+			// Squared distances sit in (or near) the subnormal range, where
+			// re-squaring dv's entries can lose most of the mantissa — only
+			// demand order-of-magnitude agreement.
+			if nv > 2*nt+1e-140 || nt > 2*nv+1e-140 {
+				t.Fatalf("tiny-norm disagreement: Norm(dv) = %g, TupleNorm = %g", nv, nt)
+			}
+		default:
+			if rel := math.Abs(nv-nt) / math.Max(nv, nt); rel > 1e-12 {
+				t.Fatalf("Norm(dv) = %.17g, TupleNorm = %.17g (rel %g)", nv, nt, rel)
+			}
+		}
+	})
+}

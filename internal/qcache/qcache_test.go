@@ -2,7 +2,9 @@ package qcache
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"spatialseq/internal/core"
@@ -204,5 +206,64 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	for w := 0; w < 8; w++ {
 		<-done
+	}
+}
+
+// TestConcurrentEvictionAccounting hammers a small cache from many
+// goroutines with unique keys and checks the counter bookkeeping stays
+// consistent under eviction races: every unique-key Put either still
+// resides in the cache or was evicted exactly once, and every Get is
+// either a hit or a miss. Run with -race this also stress-tests the
+// get/evict interleaving itself.
+func TestConcurrentEvictionAccounting(t *testing.T) {
+	const (
+		workers   = 16
+		perWorker = 1500
+		size      = 32
+	)
+	c := New(size)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Put(fmt.Sprintf("w%d-%d", w, i), &core.Result{})
+				if i%2 == 0 {
+					// A just-put key is the cache's most recent entry, and
+					// the at most workers-1 concurrent puts that can land
+					// before this Get cannot evict it (size > workers), so
+					// this is a guaranteed hit.
+					c.Get(fmt.Sprintf("w%d-%d", w, i))
+				} else {
+					// A key this worker overwrote size*4 own-puts ago is
+					// guaranteed evicted (negative rounds never existed):
+					// a guaranteed miss.
+					c.Get(fmt.Sprintf("w%d-%d", w, i-size*4))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := c.Metrics()
+	if m.Len > size {
+		t.Errorf("Len = %d exceeds capacity %d", m.Len, size)
+	}
+	if c.Len() != m.Len {
+		t.Errorf("Len() = %d disagrees with Metrics().Len = %d", c.Len(), m.Len)
+	}
+	const puts = workers * perWorker
+	if uint64(m.Len)+m.Evictions != puts {
+		t.Errorf("Len %d + Evictions %d != unique-key Puts %d", m.Len, m.Evictions, puts)
+	}
+	const gets = workers * perWorker
+	if m.Hits+m.Misses != gets {
+		t.Errorf("Hits %d + Misses %d != Gets %d", m.Hits, m.Misses, gets)
+	}
+	if m.Hits == 0 {
+		t.Error("stress pattern produced no hits; probe keys are miscalibrated")
+	}
+	if m.Misses == 0 {
+		t.Error("stress pattern produced no misses; probe keys are miscalibrated")
 	}
 }

@@ -289,6 +289,18 @@ func DefaultParams() Params {
 	return Params{K: 5, Alpha: 0.5, Beta: 1.5, GridD: 5, Xi: 10}
 }
 
+// Parameter ceilings enforced by Normalize. They exist so untrusted inputs
+// (the HTTP API, fuzzers) cannot request absurd allocations: LORA
+// materialises GridD^2 cell buckets per subspace and the top-k heap keeps K
+// tuples. Both limits sit far above anything the paper sweeps (K <= 50,
+// GridD in [1,10]).
+const (
+	// MaxK is the largest accepted result count.
+	MaxK = 10000
+	// MaxGridD is the largest accepted cells-per-side grid resolution.
+	MaxGridD = 1024
+)
+
 // Normalize fills zero fields with defaults and validates ranges.
 func (p Params) Normalize() (Params, error) {
 	d := DefaultParams()
@@ -307,8 +319,8 @@ func (p Params) Normalize() (Params, error) {
 	if p.Xi == 0 {
 		p.Xi = d.Xi
 	}
-	if p.K < 1 {
-		return p, fmt.Errorf("query: k must be >= 1, got %d", p.K)
+	if p.K < 1 || p.K > MaxK {
+		return p, fmt.Errorf("query: k must be in [1,%d], got %d", MaxK, p.K)
 	}
 	if p.Alpha < 0 || p.Alpha > 1 || math.IsNaN(p.Alpha) {
 		return p, fmt.Errorf("query: alpha must be in [0,1], got %g", p.Alpha)
@@ -316,8 +328,8 @@ func (p Params) Normalize() (Params, error) {
 	if !(p.Beta >= 1) { // also rejects NaN
 		return p, fmt.Errorf("query: beta must be >= 1, got %g", p.Beta)
 	}
-	if p.GridD < 1 {
-		return p, fmt.Errorf("query: grid resolution D must be >= 1, got %d", p.GridD)
+	if p.GridD < 1 || p.GridD > MaxGridD {
+		return p, fmt.Errorf("query: grid resolution D must be in [1,%d], got %d", MaxGridD, p.GridD)
 	}
 	return p, nil
 }

@@ -398,7 +398,16 @@ func (s *Scratch) AttrSum() float64 {
 //	sqrt(A^2/C + sum_{j>=u} x'_j^2),  A = sum x'_j y_j, C = sum y_j^2.
 //
 // The result is clamped to [0, 1].
+//
+// A degenerate example (||V_t*|| = 0, XNormed all zeros) makes the bound
+// vacuous: the formula would return 0, yet a tuple whose points all
+// coincide has SIMs = Cos(0, 0) = 1 by convention, so 0 is not an upper
+// bound. Return 1 in that case, matching SpatialBoundEq9's convention
+// (correct, merely without pruning power).
 func (c *Context) SpatialBoundEq5(y []float64) float64 {
+	if c.Norm == 0 {
+		return 1
+	}
 	u := len(y)
 	var a, cc float64
 	for j, v := range y {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spatialseq/internal/dataset"
 	"spatialseq/internal/geo"
 	"spatialseq/internal/query"
 	"spatialseq/internal/testutil"
@@ -247,5 +248,53 @@ func TestTupleSimMatchesDefinition(t *testing.T) {
 		if math.Abs(got-want) > 1e-12 {
 			t.Fatalf("TupleSim = %g, want %g", got, want)
 		}
+	}
+}
+
+// A degenerate example (all locations coincident, ||V_t*|| = 0) must keep
+// Eq. 5 a true upper bound: a tuple of coincident objects scores
+// SIMs = Cos(0, 0) = 1, so the bound has to be 1 (vacuous), not the 0 the
+// raw formula yields. Regression test for the pruning bug where HSP could
+// discard such tuples once the heap was full.
+func TestSpatialBoundsDegenerateExample(t *testing.T) {
+	b := &dataset.Builder{}
+	ca := b.Category("a")
+	cb := b.Category("b")
+	b.Add(dataset.Object{ID: 1, Loc: geo.Point{X: 3, Y: 3}, Category: ca, Attr: []float64{1}})
+	b.Add(dataset.Object{ID: 2, Loc: geo.Point{X: 3, Y: 3}, Category: cb, Attr: []float64{1}})
+	b.Add(dataset.Object{ID: 3, Loc: geo.Point{X: 9, Y: 9}, Category: cb, Attr: []float64{1}})
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{
+		Variant: query.CSEQ,
+		Params:  query.Params{K: 2, Alpha: 0.5, Beta: 1.5, GridD: 3, Xi: 5},
+		Example: query.Example{
+			Categories: []dataset.CategoryID{ca, cb},
+			Locations:  []geo.Point{{X: 5, Y: 5}, {X: 5, Y: 5}}, // coincident: norm 0
+			Attrs:      [][]float64{{1}, {1}},
+		},
+	}
+	if err := q.Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+	c := NewContext(ds, q)
+	if c.Norm != 0 {
+		t.Fatalf("example norm = %g, want 0", c.Norm)
+	}
+	for _, prefix := range [][]float64{nil, {0}} {
+		if got := c.SpatialBoundEq5(prefix); got != 1 {
+			t.Errorf("Eq5(%v) = %g, want vacuous 1", prefix, got)
+		}
+	}
+	// The coincident pair (obj 1, obj 2) is the only beta-feasible tuple
+	// (ref norm 0 and finite beta force candidate norm 0) and scores 1.
+	sim, ok := c.SimOfPositions([]int32{0, 1})
+	if !ok || sim != 1 {
+		t.Fatalf("coincident tuple: sim=%g ok=%v, want 1 true", sim, ok)
+	}
+	if _, ok := c.SimOfPositions([]int32{0, 2}); ok {
+		t.Error("non-coincident tuple must fail the beta-norm constraint")
 	}
 }

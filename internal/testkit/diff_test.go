@@ -1,0 +1,190 @@
+package testkit
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"spatialseq/internal/algo/brute"
+	"spatialseq/internal/query"
+	"spatialseq/internal/topk"
+)
+
+// TestDifferentialSuite is the acceptance gate of the differential tier:
+// 510 seeded CSEQ/CSEQ-FP/SEQ queries across the three default dataset
+// shapes, brute force as oracle, with zero disagreements from HSP
+// (sequential and parallel), DFS-Prune, or LORA's approximation
+// contract. It runs in full in -short mode — the shapes are sized so the
+// oracle stays affordable.
+func TestDifferentialSuite(t *testing.T) {
+	rep, err := RunDiff(context.Background(), DiffConfig{
+		Seed:            20250805,
+		Queries:         510,
+		FixedPointEvery: 3,
+		SEQEvery:        7,
+		ParallelEvery:   5,
+		CheckLORA:       true,
+		Shrink:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 510 {
+		t.Fatalf("ran %d queries, want 510", rep.Queries)
+	}
+	for _, v := range []string{query.CSEQ.String(), query.CSEQFP.String(), query.SEQ.String()} {
+		if rep.ByVariant[v] == 0 {
+			t.Errorf("variant %s never exercised: %v", v, rep.ByVariant)
+		}
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("differential mismatch: %s", m)
+	}
+}
+
+// TestRunDiffDeterministic pins the suite's reproducibility contract: the
+// same config must regenerate the same cases (checked through the
+// per-variant counts and a spot-checked case recipe).
+func TestRunDiffDeterministic(t *testing.T) {
+	cfg := DiffConfig{Seed: 7, Queries: 30, FixedPointEvery: 3, CheckLORA: true}
+	a, err := RunDiff(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDiff(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ByVariant) != len(b.ByVariant) {
+		t.Fatalf("variant maps differ: %v vs %v", a.ByVariant, b.ByVariant)
+	}
+	for k, v := range a.ByVariant {
+		if b.ByVariant[k] != v {
+			t.Errorf("variant %s: %d vs %d runs", k, v, b.ByVariant[k])
+		}
+	}
+}
+
+func TestRunDiffCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunDiff(ctx, DiffConfig{Seed: 1, Queries: 50})
+	if err == nil {
+		t.Fatal("cancelled context should surface an error")
+	}
+	if rep.Queries != 0 {
+		t.Errorf("ran %d queries after cancellation", rep.Queries)
+	}
+}
+
+// TestCaseGenerateReproducible asserts the Case contract: the same recipe
+// materializes the same dataset and query.
+func TestCaseGenerateReproducible(t *testing.T) {
+	mk := func() *Case {
+		c := &Case{Seed: 99, Shape: DefaultShapes()[1], M: 3, Variant: query.CSEQFP,
+			Params: query.Params{K: 4, Alpha: 0.6, Beta: 2, GridD: 3, Xi: 5}, PinCount: 2}
+		if err := c.Generate(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	if a.DS.Len() != b.DS.Len() || a.Q.Variant != b.Q.Variant {
+		t.Fatal("recipes materialized differently")
+	}
+	for i := 0; i < a.DS.Len(); i++ {
+		if a.DS.Loc(i) != b.DS.Loc(i) || a.DS.Category(i) != b.DS.Category(i) {
+			t.Fatalf("object %d differs between regenerations", i)
+		}
+	}
+	ra := brute.Search(a.DS, a.Q)
+	rb := brute.Search(b.DS, b.Q)
+	if len(ra) != len(rb) {
+		t.Fatal("regenerated case ranks differently")
+	}
+	for i := range ra {
+		if !tuplesEqual(ra[i].Tuple, rb[i].Tuple) {
+			t.Fatalf("rank %d tuple differs between regenerations", i)
+		}
+	}
+}
+
+// TestCompareExactDetects exercises the checker itself: a doctored result
+// list must be flagged with the right mismatch kind.
+func TestCompareExactDetects(t *testing.T) {
+	c := &Case{Seed: 5, Shape: DefaultShapes()[0], M: 2, Variant: query.CSEQ,
+		Params: query.Params{K: 5, Alpha: 0.5, Beta: 1.5, GridD: 3, Xi: 5}}
+	if err := c.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	want := brute.Search(c.DS, c.Q)
+	if len(want) < 2 {
+		t.Fatalf("need at least 2 results, got %d", len(want))
+	}
+	clone := func() []topk.Entry {
+		out := make([]topk.Entry, len(want))
+		for i, e := range want {
+			out[i] = topk.Entry{Tuple: append([]int32(nil), e.Tuple...), Sim: e.Sim}
+		}
+		return out
+	}
+
+	if ms := CompareExact(c, "x", want, clone()); len(ms) != 0 {
+		t.Fatalf("identical results flagged: %v", ms)
+	}
+	short := clone()[:len(want)-1]
+	if ms := CompareExact(c, "x", want, short); len(ms) != 1 || ms[0].Kind != "count" {
+		t.Fatalf("truncated results: got %v, want one count mismatch", ms)
+	}
+	scored := clone()
+	scored[1].Sim -= 0.25
+	if ms := CompareExact(c, "x", want, scored); len(ms) != 1 || ms[0].Kind != "score" {
+		t.Fatalf("perturbed score: got %v, want one score mismatch", ms)
+	}
+	swapped := clone()
+	swapped[0].Tuple[0], swapped[0].Tuple[1] = swapped[0].Tuple[1], swapped[0].Tuple[0]
+	ms := CompareExact(c, "x", want, swapped)
+	if len(ms) != 1 || ms[0].Kind != "tuple" {
+		t.Fatalf("swapped tuple: got %v, want one tuple mismatch", ms)
+	}
+	if !strings.Contains(ms[0].String(), "case=") {
+		t.Errorf("mismatch string lacks the reproduction recipe: %s", ms[0])
+	}
+}
+
+// TestCheckApproxDetects doctors LORA-style results and checks the
+// approximation contract is actually enforced.
+func TestCheckApproxDetects(t *testing.T) {
+	c := &Case{Seed: 11, Shape: DefaultShapes()[0], M: 2, Variant: query.CSEQ,
+		Params: query.Params{K: 4, Alpha: 0.5, Beta: 3, GridD: 3, Xi: 5}}
+	if err := c.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	want := brute.Search(c.DS, c.Q)
+	if len(want) < 2 {
+		t.Fatalf("need at least 2 results, got %d", len(want))
+	}
+	if ms := CheckApprox(c, want, want); len(ms) != 0 {
+		t.Fatalf("exact results flagged: %v", ms)
+	}
+	// A tuple that repeats an object is infeasible.
+	bad := []topk.Entry{{Tuple: []int32{want[0].Tuple[0], want[0].Tuple[0]}, Sim: want[0].Sim}}
+	found := false
+	for _, m := range CheckApprox(c, want, bad) {
+		if m.Kind == "infeasible" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("duplicate-object tuple not flagged as infeasible")
+	}
+	// A score above the exact optimum violates domination.
+	lied := []topk.Entry{{Tuple: append([]int32(nil), want[1].Tuple...), Sim: want[0].Sim + 0.5}}
+	kinds := map[string]bool{}
+	for _, m := range CheckApprox(c, want, lied) {
+		kinds[m.Kind] = true
+	}
+	if !kinds["score"] || !kinds["dominated"] {
+		t.Errorf("inflated score: got kinds %v, want score+dominated", kinds)
+	}
+}

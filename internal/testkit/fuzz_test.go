@@ -1,0 +1,72 @@
+package testkit
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"spatialseq/internal/query"
+)
+
+// FuzzSearch drives the differential oracle from fuzzer-chosen recipes:
+// the fuzzer picks a generator seed, a selector word (shape, tuple size,
+// k, variant, parallelism) and the two model weights, and every exact
+// algorithm must agree with brute force on the resulting query. The raw
+// floats are folded into their valid ranges rather than skipped —
+// parameter validation has its own fuzz target at the server boundary
+// (FuzzServerDecode); this one exists to explore the search space.
+func FuzzSearch(f *testing.F) {
+	f.Add(int64(1), uint64(0), 0.5, 1.5)
+	f.Add(int64(2), uint64(7), 0.3, 3.0)
+	f.Add(int64(-77), uint64(42), 1.0, 1.2)
+	f.Add(int64(991), uint64(255), 0.9, 2.0)
+	f.Add(int64(20250805), uint64(1)<<33, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, sel uint64, alpha, beta float64) {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.IsNaN(beta) || math.IsInf(beta, 0) {
+			t.Skip("non-finite weights are rejected at the validation boundary")
+		}
+		// Fold into the valid parameter ranges. Alpha 0 would select the
+		// paper default through Normalize, so keep it off exact zero.
+		alpha = math.Mod(math.Abs(alpha), 1)
+		if alpha == 0 {
+			alpha = 0.5
+		}
+		beta = 1 + math.Mod(math.Abs(beta), 8)
+		shapes := DefaultShapes()
+		c := &Case{
+			Seed:  seed,
+			Shape: shapes[int(sel%uint64(len(shapes)))],
+			M:     2 + int(sel>>2&1),
+			Params: query.Params{
+				K:     1 + int(sel>>3&7),
+				Alpha: alpha,
+				Beta:  beta,
+				GridD: 2 + int(sel>>6&3),
+				Xi:    5 + int(sel>>8&1)*5,
+			},
+			PinCount: 1 + int(sel>>9&1),
+		}
+		switch sel >> 10 & 3 {
+		case 0:
+			c.Variant = query.SEQ
+		case 1:
+			c.Variant = query.CSEQFP
+		default:
+			c.Variant = query.CSEQ
+		}
+		if err := c.Generate(); err != nil {
+			t.Fatalf("a folded recipe must always validate: %v", err)
+		}
+		parallel := sel>>12&1 == 1
+		ms, err := CheckCase(context.Background(), c, parallel, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			t.Errorf("%s", m)
+		}
+		if t.Failed() {
+			t.Logf("full case:\n%s", FormatCase(c.DS, c.Q))
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package testkit
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"spatialseq/internal/query"
+)
+
+// metaCases generates a spread of seeded cases across the default shapes
+// and both tuple sizes for the metamorphic checks.
+func metaCases(t *testing.T, n int, variant query.Variant) []*Case {
+	t.Helper()
+	shapes := DefaultShapes()
+	out := make([]*Case, 0, n)
+	for i := 0; i < n; i++ {
+		c := &Case{
+			Seed:    mix64(424242, i),
+			Shape:   shapes[i%len(shapes)],
+			M:       2 + i%2,
+			Variant: variant,
+			Params: query.Params{
+				K:     2 + i%4,
+				Alpha: []float64{0.3, 0.5, 1}[i%3],
+				Beta:  []float64{1.5, 3}[i%2],
+				GridD: 3,
+				Xi:    5,
+			},
+			PinCount: 1,
+		}
+		if err := c.Generate(); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestTransformInvariance(t *testing.T) {
+	transforms := []Transform{
+		{Angle: 0, Scale: 1, DX: 1234.5, DY: -987.25}, // pure translation
+		{Angle: math.Pi / 3, Scale: 1},                // pure rotation
+		{Angle: 0, Scale: 2.75},                       // pure uniform scaling
+		{Angle: -1.1, Scale: 0.35, DX: -50, DY: 300},  // composite
+		{Angle: math.Pi, Scale: 17, DX: 1e6, DY: 1e6}, // large offsets
+	}
+	ctx := context.Background()
+	for _, c := range metaCases(t, 9, query.CSEQ) {
+		tf := transforms[int(uint64(c.Seed)%uint64(len(transforms)))]
+		for _, m := range CheckTransformInvariance(ctx, c, tf) {
+			t.Errorf("%s", m)
+		}
+	}
+}
+
+func TestPermutationConsistency(t *testing.T) {
+	for i, c := range metaCases(t, 8, query.CSEQ) {
+		m := c.Q.Example.M()
+		// Exercise every rotation of the dimensions, not just one swap.
+		perm := make([]int, m)
+		for d := 0; d < m; d++ {
+			perm[d] = (d + 1 + i%m) % m
+		}
+		for _, ms := range CheckPermutationConsistency(c, perm) {
+			t.Errorf("%s", ms)
+		}
+	}
+}
+
+func TestPermutationConsistencyFixedPoint(t *testing.T) {
+	for _, c := range metaCases(t, 6, query.CSEQFP) {
+		if c.Q.Variant != query.CSEQFP {
+			continue // pin category was empty; recipe degraded to CSEQ
+		}
+		m := c.Q.Example.M()
+		perm := make([]int, m)
+		for d := 0; d < m; d++ {
+			perm[d] = m - 1 - d // full reversal moves every pin
+		}
+		for _, ms := range CheckPermutationConsistency(c, perm) {
+			t.Errorf("%s", ms)
+		}
+	}
+}
+
+func TestKMonotonic(t *testing.T) {
+	ctx := context.Background()
+	for _, c := range metaCases(t, 8, query.CSEQ) {
+		for _, ms := range CheckKMonotonic(ctx, c, 2*c.Q.Params.K+3) {
+			t.Errorf("%s", ms)
+		}
+	}
+}
+
+func TestAlphaEndpoints(t *testing.T) {
+	ctx := context.Background()
+	for _, c := range metaCases(t, 8, query.CSEQ) {
+		for _, ms := range CheckAlphaEndpoints(ctx, c) {
+			t.Errorf("%s", ms)
+		}
+	}
+}
+
+func TestFixedPointPostFilter(t *testing.T) {
+	ran := 0
+	for _, c := range metaCases(t, 9, query.CSEQFP) {
+		if c.Q.Variant != query.CSEQFP {
+			continue
+		}
+		ran++
+		for _, ms := range CheckFixedPointPostFilter(c) {
+			t.Errorf("%s", ms)
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no CSEQ-FP case survived generation; widen the recipe spread")
+	}
+}
+
+// TestTransformCaseRejectsNothing double-checks the transform plumbing
+// itself: positions, categories and pins must be preserved verbatim.
+func TestTransformCasePreservesStructure(t *testing.T) {
+	c := metaCases(t, 3, query.CSEQFP)[0]
+	tf := Transform{Angle: 0.7, Scale: 1.3, DX: 10, DY: -4}
+	tds, tq, err := TransformCase(c, tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tds.Len() != c.DS.Len() {
+		t.Fatalf("object count changed: %d -> %d", c.DS.Len(), tds.Len())
+	}
+	for i := 0; i < tds.Len(); i++ {
+		if tds.Category(i) != c.DS.Category(i) {
+			t.Fatalf("object %d changed category", i)
+		}
+		want := tf.Point(c.DS.Loc(i))
+		if got := tds.Loc(i); got != want {
+			t.Fatalf("object %d at %v, want %v", i, got, want)
+		}
+	}
+	if len(tq.Example.Fixed) != len(c.Q.Example.Fixed) {
+		t.Fatal("pins changed")
+	}
+}

@@ -1,0 +1,188 @@
+package testkit
+
+import (
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/query"
+)
+
+// FailFunc reports whether a concrete (dataset, query) pair still exhibits
+// the failure being minimized. Shrink only adopts reductions for which the
+// query validates against the reduced dataset AND FailFunc stays true, so
+// implementations may assume a validated input.
+type FailFunc func(ds *dataset.Dataset, q *query.Query) bool
+
+// Shrink reduces a failing (dataset, query) pair to a (locally) minimal
+// counterexample, ddmin-style. Per round it tries, in order: halving k,
+// dropping example dimensions (down to 2), and removing dataset objects in
+// geometrically shrinking chunks (down to single objects, remapping pinned
+// positions). It stops after maxRounds rounds or when a round makes no
+// progress. The inputs are never mutated; the returned pair is independent
+// of them.
+func Shrink(ds *dataset.Dataset, q *query.Query, fails FailFunc, maxRounds int) (*dataset.Dataset, *query.Query) {
+	cur, curQ := ds, CloneQuery(q)
+	if maxRounds <= 0 {
+		maxRounds = 4
+	}
+	for round := 0; round < maxRounds; round++ {
+		progress := false
+		if nq, ok := shrinkK(cur, curQ, fails); ok {
+			curQ, progress = nq, true
+		}
+		if nq, ok := shrinkDims(cur, curQ, fails); ok {
+			curQ, progress = nq, true
+		}
+		if nds, nq, ok := shrinkObjects(cur, curQ, fails); ok {
+			cur, curQ, progress = nds, nq, true
+		}
+		if !progress {
+			break
+		}
+	}
+	return cur, curQ
+}
+
+// adopt validates the candidate and re-checks the failure. Validate
+// normalizes parameters in place, which is fine: candidates are clones.
+func adopt(ds *dataset.Dataset, q *query.Query, fails FailFunc) bool {
+	if err := q.Validate(ds); err != nil {
+		return false
+	}
+	return fails(ds, q)
+}
+
+// shrinkK repeatedly halves the result count toward 1.
+func shrinkK(ds *dataset.Dataset, q *query.Query, fails FailFunc) (*query.Query, bool) {
+	cur, ok := q, false
+	for cur.Params.K > 1 {
+		cand := CloneQuery(cur)
+		cand.Params.K = cur.Params.K / 2
+		if !adopt(ds, cand, fails) {
+			break
+		}
+		cur, ok = cand, true
+	}
+	return cur, ok
+}
+
+// shrinkDims tries dropping each example dimension while at least 2
+// remain, remapping fixed points and skip pairs.
+func shrinkDims(ds *dataset.Dataset, q *query.Query, fails FailFunc) (*query.Query, bool) {
+	cur, ok := q, false
+	for cur.Example.M() > 2 {
+		dropped := false
+		for d := 0; d < cur.Example.M(); d++ {
+			cand := dropDim(cur, d)
+			if adopt(ds, cand, fails) {
+				cur, ok, dropped = cand, true, true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	return cur, ok
+}
+
+// dropDim returns a clone of q without example dimension d: fixed points
+// and skip pairs referencing d are dropped, higher dimensions shift down.
+func dropDim(q *query.Query, d int) *query.Query {
+	out := CloneQuery(q)
+	ex := &out.Example
+	ex.Categories = append(ex.Categories[:d], ex.Categories[d+1:]...)
+	ex.Locations = append(ex.Locations[:d], ex.Locations[d+1:]...)
+	ex.Attrs = append(ex.Attrs[:d], ex.Attrs[d+1:]...)
+	var fixed []query.FixedPoint
+	for _, f := range ex.Fixed {
+		switch {
+		case f.Dim == d:
+		case f.Dim > d:
+			fixed = append(fixed, query.FixedPoint{Dim: f.Dim - 1, Obj: f.Obj})
+		default:
+			fixed = append(fixed, f)
+		}
+	}
+	ex.Fixed = fixed
+	var pairs [][2]int
+	for _, sp := range ex.SkipPairs {
+		if sp[0] == d || sp[1] == d {
+			continue
+		}
+		a, b := sp[0], sp[1]
+		if a > d {
+			a--
+		}
+		if b > d {
+			b--
+		}
+		pairs = append(pairs, [2]int{a, b})
+	}
+	ex.SkipPairs = pairs
+	if out.Variant == query.CSEQFP && len(ex.Fixed) == 0 {
+		out.Variant = query.CSEQ
+	}
+	return out
+}
+
+// shrinkObjects removes dataset objects ddmin-style: chunks of halving
+// size, then single objects. Pinned objects are remapped to their new
+// positions; a chunk containing a pinned object is skipped.
+func shrinkObjects(ds *dataset.Dataset, q *query.Query, fails FailFunc) (*dataset.Dataset, *query.Query, bool) {
+	cur, curQ, ok := ds, q, false
+	for chunk := cur.Len() / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < cur.Len(); {
+			end := start + chunk
+			if end > cur.Len() {
+				end = cur.Len()
+			}
+			nds, nq, valid := removeRange(cur, curQ, start, end)
+			if valid && adopt(nds, nq, fails) {
+				cur, curQ, ok = nds, nq, true
+				// positions shifted; retry the same start against the
+				// reduced dataset
+				continue
+			}
+			start = end
+		}
+	}
+	return cur, curQ, ok
+}
+
+// removeRange rebuilds ds without positions [start,end) and remaps the
+// query's pinned positions. valid is false when a pinned object falls in
+// the removed range or the dataset would become smaller than the tuple
+// size.
+func removeRange(ds *dataset.Dataset, q *query.Query, start, end int) (*dataset.Dataset, *query.Query, bool) {
+	n := ds.Len()
+	removed := end - start
+	if n-removed < q.Example.M() {
+		return nil, nil, false
+	}
+	for _, f := range q.Example.Fixed {
+		if int(f.Obj) >= start && int(f.Obj) < end {
+			return nil, nil, false
+		}
+	}
+	b := &dataset.Builder{}
+	for c := 0; c < ds.NumCategories(); c++ {
+		b.Category(ds.CategoryName(dataset.CategoryID(c)))
+	}
+	for i := 0; i < n; i++ {
+		if i >= start && i < end {
+			continue
+		}
+		o := ds.Object(i)
+		b.Add(dataset.Object{ID: o.ID, Loc: o.Loc, Category: o.Category, Attr: o.Attr, Name: o.Name})
+	}
+	nds, err := b.Build()
+	if err != nil {
+		return nil, nil, false
+	}
+	nq := CloneQuery(q)
+	for i, f := range nq.Example.Fixed {
+		if int(f.Obj) >= end {
+			nq.Example.Fixed[i].Obj = f.Obj - int32(removed)
+		}
+	}
+	return nds, nq, true
+}

@@ -1,0 +1,135 @@
+package testkit
+
+import (
+	"testing"
+
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/query"
+)
+
+// TestShrinkReducesDataset drives Shrink with a synthetic failure
+// predicate ("the dataset still contains objects X and Y and k >= 1") and
+// checks the minimizer strips everything else away.
+func TestShrinkReducesDataset(t *testing.T) {
+	c := &Case{Seed: 314, Shape: DefaultShapes()[0], M: 3, Variant: query.CSEQ,
+		Params: query.Params{K: 8, Alpha: 0.5, Beta: 3, GridD: 3, Xi: 5}}
+	if err := c.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	// The "bug" depends on two specific objects, identified by ID so the
+	// predicate survives position remapping.
+	idA, idB := c.DS.Object(3).ID, c.DS.Object(17).ID
+	fails := func(ds *dataset.Dataset, q *query.Query) bool {
+		foundA, foundB := false, false
+		for i := 0; i < ds.Len(); i++ {
+			switch ds.Object(i).ID {
+			case idA:
+				foundA = true
+			case idB:
+				foundB = true
+			}
+		}
+		return foundA && foundB
+	}
+	if !fails(c.DS, c.Q) {
+		t.Fatal("predicate must hold on the original case")
+	}
+	sds, sq := Shrink(c.DS, c.Q, fails, 6)
+	if !fails(sds, sq) {
+		t.Fatal("shrunk case no longer fails")
+	}
+	if err := sq.Validate(sds); err != nil {
+		t.Fatalf("shrunk query does not validate: %v", err)
+	}
+	if sds.Len() >= c.DS.Len() {
+		t.Errorf("no objects removed: %d -> %d", c.DS.Len(), sds.Len())
+	}
+	// Minimal here: two culprit objects, the m-object floor aside.
+	if sds.Len() > sq.Example.M() {
+		t.Errorf("shrunk dataset keeps %d objects; the failure only needs 2 (floor %d)",
+			sds.Len(), sq.Example.M())
+	}
+	if sq.Params.K != 1 {
+		t.Errorf("k not minimized: %d", sq.Params.K)
+	}
+	if sq.Example.M() != 2 {
+		t.Errorf("dimensions not minimized: %d", sq.Example.M())
+	}
+	// Shrink must not mutate its inputs.
+	if c.DS.Len() != DefaultShapes()[0].Spec.N {
+		t.Error("original dataset was mutated")
+	}
+	if c.Q.Params.K != 8 || c.Q.Example.M() != 3 {
+		t.Error("original query was mutated")
+	}
+}
+
+// TestShrinkKeepsPins: object removal must never strip a pinned object,
+// and surviving pins must be remapped to their new positions.
+func TestShrinkKeepsPins(t *testing.T) {
+	var c *Case
+	for seed := int64(0); ; seed++ {
+		c = &Case{Seed: seed, Shape: DefaultShapes()[1], M: 3, Variant: query.CSEQFP,
+			Params: query.Params{K: 5, Alpha: 0.5, Beta: 3, GridD: 3, Xi: 5}, PinCount: 1}
+		if err := c.Generate(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Q.Variant == query.CSEQFP {
+			break
+		}
+	}
+	pinID := c.DS.Object(int(c.Q.Example.Fixed[0].Obj)).ID
+	fails := func(ds *dataset.Dataset, q *query.Query) bool {
+		// Any CSEQ-FP query "fails"; dropping the pin ends the failure.
+		return q.Variant == query.CSEQFP
+	}
+	sds, sq := Shrink(c.DS, c.Q, fails, 6)
+	if sq.Variant != query.CSEQFP || len(sq.Example.Fixed) == 0 {
+		t.Fatal("shrunk case lost its fixed point")
+	}
+	got := sds.Object(int(sq.Example.Fixed[0].Obj)).ID
+	if got != pinID {
+		t.Errorf("pin now points at object %d, want %d", got, pinID)
+	}
+	if err := sq.Validate(sds); err != nil {
+		t.Fatalf("shrunk query does not validate: %v", err)
+	}
+	if sds.Len() >= c.DS.Len() {
+		t.Errorf("no objects removed: %d -> %d", c.DS.Len(), sds.Len())
+	}
+}
+
+// TestShrinkRejectsVacuousPredicate: a predicate that never fails must
+// leave the case untouched.
+func TestShrinkNoProgressOnPassingCase(t *testing.T) {
+	c := &Case{Seed: 21, Shape: DefaultShapes()[0], M: 2, Variant: query.CSEQ,
+		Params: query.Params{K: 3, Alpha: 0.5, Beta: 1.5, GridD: 3, Xi: 5}}
+	if err := c.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	never := func(ds *dataset.Dataset, q *query.Query) bool { return false }
+	sds, sq := Shrink(c.DS, c.Q, never, 4)
+	if sds.Len() != c.DS.Len() || sq.Params.K != c.Q.Params.K || sq.Example.M() != c.Q.Example.M() {
+		t.Error("shrink made progress against a never-failing predicate")
+	}
+}
+
+func TestDropDimRemapsSkipPairs(t *testing.T) {
+	c := &Case{Seed: 8, Shape: DefaultShapes()[0], M: 3, Variant: query.CSEQ,
+		Params: query.Params{K: 3, Alpha: 0.5, Beta: 3, GridD: 3, Xi: 5}}
+	if err := c.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Q.Example.SkipPairs = [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	out := dropDim(c.Q, 1)
+	if out.Example.M() != 2 {
+		t.Fatalf("M = %d, want 2", out.Example.M())
+	}
+	// {0,1} and {1,2} touch the dropped dim and vanish; {0,2} becomes {0,1}.
+	if len(out.Example.SkipPairs) != 1 || out.Example.SkipPairs[0] != [2]int{0, 1} {
+		t.Errorf("skip pairs remapped to %v, want [[0 1]]", out.Example.SkipPairs)
+	}
+	if len(c.Q.Example.SkipPairs) != 3 {
+		t.Error("dropDim mutated its input")
+	}
+}

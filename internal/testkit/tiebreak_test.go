@@ -1,0 +1,167 @@
+package testkit
+
+import (
+	"context"
+	"testing"
+
+	"spatialseq/internal/algo/brute"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/query"
+)
+
+// handCase wraps a hand-built dataset and query in a Case so the
+// differential checker can run on it (the recipe fields are cosmetic).
+func handCase(t *testing.T, ds *dataset.Dataset, q *query.Query) *Case {
+	t.Helper()
+	if err := q.Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+	return &Case{Shape: Shape{Name: "hand-built"}, M: q.Example.M(), Variant: q.Variant,
+		Params: q.Params, DS: ds, Q: q}
+}
+
+func mustBuild(t *testing.T, b *dataset.Builder) *dataset.Dataset {
+	t.Helper()
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestTieHeavySymmetricAgreement is the regression test for the strict
+// WouldAccept bug: with every candidate tuple scoring an identical
+// similarity, a bound equal to the heap threshold used to prune subtrees
+// whose tied tuples would have displaced larger-key entries, so HSP's
+// tuple set could diverge from brute force. The deterministic tie-break
+// (higher sim, then lexicographically smaller tuple key) must now be
+// reproduced by every exact algorithm, including parallel HSP.
+func TestTieHeavySymmetricAgreement(t *testing.T) {
+	b := &dataset.Builder{}
+	ca, cb := b.Category("a"), b.Category("b")
+	attr := []float64{1, 2}
+	// One anchor and a ring of four "b" objects all at distance 10 from
+	// it: every (a, b) tuple ties at the maximum similarity.
+	b.Add(dataset.Object{ID: 10, Loc: geo.Point{X: 0, Y: 0}, Category: ca, Attr: attr})
+	b.Add(dataset.Object{ID: 11, Loc: geo.Point{X: 10, Y: 0}, Category: cb, Attr: attr})
+	b.Add(dataset.Object{ID: 12, Loc: geo.Point{X: -10, Y: 0}, Category: cb, Attr: attr})
+	b.Add(dataset.Object{ID: 13, Loc: geo.Point{X: 0, Y: 10}, Category: cb, Attr: attr})
+	b.Add(dataset.Object{ID: 14, Loc: geo.Point{X: 0, Y: -10}, Category: cb, Attr: attr})
+	ds := mustBuild(t, b)
+	q := &query.Query{
+		Variant: query.CSEQ,
+		Params:  query.Params{K: 2, Alpha: 0.5, Beta: 1.5, GridD: 3, Xi: 5},
+		Example: query.Example{
+			Categories: []dataset.CategoryID{ca, cb},
+			Locations:  []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}},
+			Attrs:      [][]float64{attr, attr},
+		},
+	}
+	c := handCase(t, ds, q)
+	want := brute.Search(ds, q)
+	if len(want) != 2 {
+		t.Fatalf("oracle returned %d results, want 2", len(want))
+	}
+	for i, e := range want {
+		// All ring tuples share the identical distance vector, so the tie
+		// is bitwise (the rounded cosine may sit a ulp under 1).
+		if e.Sim != want[0].Sim || e.Sim < 0.999 {
+			t.Fatalf("rank %d: sim %.17g, want a full tie near 1", i, e.Sim)
+		}
+	}
+	// Tie-break: positions (0,1) then (0,2) — the smallest tuple keys.
+	if want[0].Tuple[1] != 1 || want[1].Tuple[1] != 2 {
+		t.Fatalf("oracle tie-break picked %v / %v, want positions 1 then 2", want[0].Tuple, want[1].Tuple)
+	}
+	// Parallel HSP shares the tie-break contract; repeat to shake races.
+	for round := 0; round < 10; round++ {
+		ms, err := CheckCase(context.Background(), c, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			t.Errorf("round %d: %s", round, m)
+		}
+	}
+}
+
+// TestZeroNormAttributeAgreement: objects with all-zero attribute vectors
+// score SIMa = 0 against any non-zero example attribute (by the documented
+// cosine convention), producing clusters of exactly tied similarities.
+// All exact algorithms must agree tuple-for-tuple.
+func TestZeroNormAttributeAgreement(t *testing.T) {
+	b := &dataset.Builder{}
+	ca, cb := b.Category("a"), b.Category("b")
+	zero := []float64{0, 0}
+	some := []float64{3, 1}
+	b.Add(dataset.Object{ID: 20, Loc: geo.Point{X: 0, Y: 0}, Category: ca, Attr: some})
+	b.Add(dataset.Object{ID: 21, Loc: geo.Point{X: 0, Y: 0}, Category: ca, Attr: zero})
+	// Symmetric ring: spatially tied pairs whose attribute halves are
+	// zero-vs-zero (SIMa ties at 0) and zero-vs-some.
+	b.Add(dataset.Object{ID: 22, Loc: geo.Point{X: 8, Y: 0}, Category: cb, Attr: zero})
+	b.Add(dataset.Object{ID: 23, Loc: geo.Point{X: -8, Y: 0}, Category: cb, Attr: zero})
+	b.Add(dataset.Object{ID: 24, Loc: geo.Point{X: 0, Y: 8}, Category: cb, Attr: some})
+	b.Add(dataset.Object{ID: 25, Loc: geo.Point{X: 0, Y: -8}, Category: cb, Attr: zero})
+	ds := mustBuild(t, b)
+	q := &query.Query{
+		Variant: query.CSEQ,
+		Params:  query.Params{K: 4, Alpha: 0.5, Beta: 2, GridD: 3, Xi: 5},
+		Example: query.Example{
+			Categories: []dataset.CategoryID{ca, cb},
+			Locations:  []geo.Point{{X: 0, Y: 0}, {X: 8, Y: 0}},
+			Attrs:      [][]float64{some, some},
+		},
+	}
+	c := handCase(t, ds, q)
+	ms, err := CheckCase(context.Background(), c, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		t.Errorf("%s", m)
+	}
+}
+
+// TestDegenerateExampleAgreement: an example whose locations all coincide
+// has a zero-norm distance vector, which makes Eq. 5 vacuous (regression:
+// the raw formula returned 0, a false bound that let HSP prune the only
+// feasible tuples). With finite beta only coincident tuples are feasible;
+// every exact algorithm must return exactly them.
+func TestDegenerateExampleAgreement(t *testing.T) {
+	b := &dataset.Builder{}
+	ca, cb := b.Category("a"), b.Category("b")
+	attr := []float64{1}
+	// Three coincident (a, b) pairs at different spots, plus decoys that
+	// break the norm constraint.
+	b.Add(dataset.Object{ID: 30, Loc: geo.Point{X: 1, Y: 1}, Category: ca, Attr: attr})
+	b.Add(dataset.Object{ID: 31, Loc: geo.Point{X: 1, Y: 1}, Category: cb, Attr: attr})
+	b.Add(dataset.Object{ID: 32, Loc: geo.Point{X: 4, Y: 4}, Category: ca, Attr: attr})
+	b.Add(dataset.Object{ID: 33, Loc: geo.Point{X: 4, Y: 4}, Category: cb, Attr: attr})
+	b.Add(dataset.Object{ID: 34, Loc: geo.Point{X: 7, Y: 7}, Category: ca, Attr: attr})
+	b.Add(dataset.Object{ID: 35, Loc: geo.Point{X: 7, Y: 7}, Category: cb, Attr: attr})
+	b.Add(dataset.Object{ID: 36, Loc: geo.Point{X: 50, Y: 50}, Category: cb, Attr: attr})
+	ds := mustBuild(t, b)
+	q := &query.Query{
+		Variant: query.CSEQ,
+		Params:  query.Params{K: 2, Alpha: 0.5, Beta: 1.5, GridD: 3, Xi: 5},
+		Example: query.Example{
+			Categories: []dataset.CategoryID{ca, cb},
+			Locations:  []geo.Point{{X: 5, Y: 5}, {X: 5, Y: 5}},
+			Attrs:      [][]float64{attr, attr},
+		},
+	}
+	c := handCase(t, ds, q)
+	want := brute.Search(ds, q)
+	// 3 coincident pairs tie at sim 1; K=2 keeps the two smallest keys.
+	if len(want) != 2 || want[0].Sim != 1 || want[1].Sim != 1 {
+		t.Fatalf("oracle = %v, want two sim-1 results", want)
+	}
+	ms, err := CheckCase(context.Background(), c, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		t.Errorf("%s", m)
+	}
+}

@@ -1,50 +1,95 @@
 // Package testutil builds small deterministic datasets and queries for the
 // algorithm test suites. It lives outside the individual test files so the
-// cross-algorithm equivalence tests, the property tests and the benchmarks
-// all draw from the same fixtures.
+// cross-algorithm equivalence tests, the property tests (internal/testkit)
+// and the benchmarks all draw from the same seeded-generation path.
 package testutil
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/geo"
+	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
+	"spatialseq/internal/topk"
 )
+
+// DatasetSpec parameterizes RandDatasetSpec. The zero values of the
+// optional fields (CategorySkew, ZeroAttrFrac) reproduce RandDataset's
+// stream exactly, so existing seeded fixtures stay stable.
+type DatasetSpec struct {
+	// N is the object count.
+	N int
+	// Categories is the number of interned categories ("cat-0"...).
+	Categories int
+	// AttrDim is the attribute vector length.
+	AttrDim int
+	// Extent is the side length of the square data space.
+	Extent float64
+	// CategorySkew > 0 draws categories Zipf-like: P(c) proportional to
+	// (c+1)^-skew, so cat-0 dominates. 0 draws uniformly.
+	CategorySkew float64
+	// ZeroAttrFrac is the probability that an object gets an all-zero
+	// attribute vector — the zero-norm corner the cosine conventions
+	// (vectormath.Cos) and the tie-break contract must survive.
+	ZeroAttrFrac float64
+}
 
 // RandDataset builds a dataset of n objects spread over extent x extent,
 // with the given number of categories and attribute dimensions. Points are
 // lightly clustered (half the objects snap near one of sqrt(n) anchors) so
 // grids and partitions see realistic density variation.
 func RandDataset(rng *rand.Rand, n, categories, attrDim int, extent float64) *dataset.Dataset {
+	return RandDatasetSpec(rng, DatasetSpec{N: n, Categories: categories, AttrDim: attrDim, Extent: extent})
+}
+
+// RandDatasetSpec is RandDataset with category skew and zero-attribute
+// controls. With both extras at zero it consumes the rng stream exactly as
+// RandDataset does.
+func RandDatasetSpec(rng *rand.Rand, spec DatasetSpec) *dataset.Dataset {
 	b := &dataset.Builder{}
-	for c := 0; c < categories; c++ {
+	for c := 0; c < spec.Categories; c++ {
 		b.Category(fmt.Sprintf("cat-%d", c))
 	}
-	anchors := make([]geo.Point, isqrt(n)+1)
-	for i := range anchors {
-		anchors[i] = geo.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	var catWeights []float64
+	if spec.CategorySkew > 0 {
+		catWeights = make([]float64, spec.Categories)
+		var total float64
+		for c := range catWeights {
+			total += math.Pow(float64(c+1), -spec.CategorySkew)
+			catWeights[c] = total
+		}
+		for c := range catWeights {
+			catWeights[c] /= total
+		}
 	}
-	for i := 0; i < n; i++ {
+	anchors := make([]geo.Point, isqrt(spec.N)+1)
+	for i := range anchors {
+		anchors[i] = geo.Point{X: rng.Float64() * spec.Extent, Y: rng.Float64() * spec.Extent}
+	}
+	for i := 0; i < spec.N; i++ {
 		var loc geo.Point
 		if rng.Intn(2) == 0 {
 			a := anchors[rng.Intn(len(anchors))]
 			loc = geo.Point{
-				X: clamp(a.X+rng.NormFloat64()*extent/40, 0, extent),
-				Y: clamp(a.Y+rng.NormFloat64()*extent/40, 0, extent),
+				X: clamp(a.X+rng.NormFloat64()*spec.Extent/40, 0, spec.Extent),
+				Y: clamp(a.Y+rng.NormFloat64()*spec.Extent/40, 0, spec.Extent),
 			}
 		} else {
-			loc = geo.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+			loc = geo.Point{X: rng.Float64() * spec.Extent, Y: rng.Float64() * spec.Extent}
 		}
-		attr := make([]float64, attrDim)
-		for d := range attr {
-			attr[d] = 0.05 + 0.95*rng.Float64()
+		attr := make([]float64, spec.AttrDim)
+		if spec.ZeroAttrFrac <= 0 || rng.Float64() >= spec.ZeroAttrFrac {
+			for d := range attr {
+				attr[d] = 0.05 + 0.95*rng.Float64()
+			}
 		}
 		b.Add(dataset.Object{
 			ID:       int64(i),
 			Loc:      loc,
-			Category: dataset.CategoryID(rng.Intn(categories)),
+			Category: drawCategory(rng, spec.Categories, catWeights),
 			Attr:     attr,
 		})
 	}
@@ -54,6 +99,19 @@ func RandDataset(rng *rand.Rand, n, categories, attrDim int, extent float64) *da
 		panic(err)
 	}
 	return ds
+}
+
+func drawCategory(rng *rand.Rand, categories int, cumWeights []float64) dataset.CategoryID {
+	if cumWeights == nil {
+		return dataset.CategoryID(rng.Intn(categories))
+	}
+	u := rng.Float64()
+	for c, w := range cumWeights {
+		if u < w {
+			return dataset.CategoryID(c)
+		}
+	}
+	return dataset.CategoryID(categories - 1)
 }
 
 // RandQuery draws a CSEQ query with tuple size m whose example locations
@@ -81,6 +139,58 @@ func RandQuery(rng *rand.Rand, ds *dataset.Dataset, m int, scale float64, params
 		ex.Attrs[d] = attr
 	}
 	return &query.Query{Variant: query.CSEQ, Example: ex, Params: params}
+}
+
+// PinDims turns q into a CSEQ-FP query by pinning each listed dimension to
+// a random dataset object of the matching category. It reports false (and
+// leaves q untouched) when some listed dimension's category has no
+// objects.
+func PinDims(rng *rand.Rand, ds *dataset.Dataset, q *query.Query, dims ...int) bool {
+	fixed := make([]query.FixedPoint, 0, len(dims))
+	for _, d := range dims {
+		cands := ds.CategoryObjects(q.Example.Categories[d])
+		if len(cands) == 0 {
+			return false
+		}
+		fixed = append(fixed, query.FixedPoint{Dim: d, Obj: cands[rng.Intn(len(cands))]})
+	}
+	q.Example.Fixed = fixed
+	q.Variant = query.CSEQFP
+	return true
+}
+
+// BuildIndex builds the partition index over the dataset's locations — the
+// same construction core.NewEngine performs, shared here so algorithm
+// tests do not each reimplement it.
+func BuildIndex(ds *dataset.Dataset) *partition.Index {
+	pts := make([]geo.Point, ds.Len())
+	for i := range pts {
+		pts[i] = ds.Loc(i)
+	}
+	return partition.NewIndex(pts)
+}
+
+// Sims extracts the similarity series of a result list, best-first.
+func Sims(entries []topk.Entry) []float64 {
+	out := make([]float64, len(entries))
+	for i, e := range entries {
+		out[i] = e.Sim
+	}
+	return out
+}
+
+// SimsEqual reports whether two similarity series agree elementwise within
+// tol.
+func SimsEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
 }
 
 func clamp(x, lo, hi float64) float64 {

@@ -48,9 +48,12 @@ func NewConcurrent(k int) *Concurrent {
 func (c *Concurrent) K() int { return c.h.K() }
 
 // WouldAccept reports whether sim could enter the results, using the
-// lock-free threshold snapshot.
+// lock-free threshold snapshot. As with Heap.WouldAccept, equality passes:
+// a bound equal to the threshold may still cover a tuple that wins the
+// deterministic tie-break, and admitting it is what makes parallel
+// searches return the same tuples as sequential ones.
 func (c *Concurrent) WouldAccept(sim float64) bool {
-	return sim > math.Float64frombits(c.thr.Load())
+	return sim >= math.Float64frombits(c.thr.Load())
 }
 
 // Threshold returns the currently published pruning threshold. Because

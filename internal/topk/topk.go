@@ -87,10 +87,20 @@ func (t *Heap) Offer(tuple []int32, sim float64) bool {
 }
 
 // WouldAccept reports whether a candidate with similarity sim could enter
-// the heap, ignoring tie-breaks. It is the pruning test used against upper
-// bounds: a subtree whose bound fails WouldAccept cannot contribute.
+// the heap. It is the pruning test used against upper bounds: a subtree
+// whose bound fails WouldAccept cannot contribute.
+//
+// Equality passes. Callers feed WouldAccept upper bounds, and a subtree
+// whose bound equals the current threshold can still hold a tuple that
+// scores exactly the threshold yet enters via the deterministic tie-break
+// (smaller tuple key beats the incumbent in beats). Pruning such subtrees
+// would make exact algorithms return tie-sets that depend on enumeration
+// order; admitting them keeps brute force, DFS-Prune and HSP (sequential
+// or parallel) tuple-for-tuple identical. Offer still rejects candidates
+// that lose the tie-break, so equality here costs at most the descent, not
+// correctness.
 func (t *Heap) WouldAccept(sim float64) bool {
-	return !t.Full() || sim > t.h[0].e.Sim
+	return !t.Full() || sim >= t.h[0].e.Sim
 }
 
 // Results returns the held entries ordered best-first (similarity

@@ -50,11 +50,37 @@ func TestWouldAccept(t *testing.T) {
 		t.Error("non-full heap accepts anything")
 	}
 	h.Offer([]int32{1}, 0.5)
-	if h.WouldAccept(0.5) {
-		t.Error("equal similarity must not pass WouldAccept (bound test)")
+	if h.WouldAccept(0.4) {
+		t.Error("lower similarity must not pass a full heap")
+	}
+	// Equality must pass: a bound equal to the threshold can still cover a
+	// tuple that wins the deterministic tie-break (smaller tuple key).
+	if !h.WouldAccept(0.5) {
+		t.Error("equal similarity must pass WouldAccept (tie-break contract)")
 	}
 	if !h.WouldAccept(0.6) {
 		t.Error("higher similarity must pass")
+	}
+}
+
+// TestWouldAcceptTieBreakEntry pins the contract end to end: with the heap
+// full at threshold 0.5, a tied candidate with a smaller tuple key passes
+// WouldAccept and replaces the incumbent via Offer, while a tied candidate
+// with a larger key passes WouldAccept but loses the tie-break in Offer.
+func TestWouldAcceptTieBreakEntry(t *testing.T) {
+	h := New(1)
+	h.Offer([]int32{5}, 0.5)
+	if !h.WouldAccept(0.5) {
+		t.Fatal("tied bound must not be pruned")
+	}
+	if h.Offer([]int32{7}, 0.5) {
+		t.Error("tied candidate with larger key must lose to the incumbent")
+	}
+	if !h.Offer([]int32{3}, 0.5) {
+		t.Error("tied candidate with smaller key must replace the incumbent")
+	}
+	if got := h.Results()[0].Tuple[0]; got != 3 {
+		t.Errorf("winner = %d, want 3", got)
 	}
 }
 

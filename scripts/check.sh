@@ -3,7 +3,9 @@
 #
 # Runs, in order: gofmt (formatting), go vet (stock analyzers),
 # go build, seqlint (the repo-specific analyzer suite in cmd/seqlint),
-# the test suite under the race detector, and the server smoke test
+# the test suite under the race detector (which includes the 510-query
+# differential suite in internal/testkit), a short fuzz smoke over the
+# committed corpora (scripts/fuzz_smoke.sh), and the server smoke test
 # (scripts/smoke.sh). Any failure fails the gate. CI runs exactly this
 # script; run it locally before pushing.
 set -euo pipefail
@@ -28,6 +30,9 @@ go run ./cmd/seqlint ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke =="
+./scripts/fuzz_smoke.sh
 
 echo "== server smoke =="
 ./scripts/smoke.sh
