@@ -6,9 +6,25 @@
 //
 // Usage:
 //
-//	seqlint [-layers policy-file] [packages...]
+//	seqlint [-layers policy-file] [-json] [-gate baseline] \
+//	        [-write-baseline file] [-audit] [packages...]
 //
-// Analyzers: floatcmp, syncmisuse, layering, panicfree, errdrop.
+// Analyzers: floatcmp, syncmisuse, layering, panicfree, errdrop,
+// hotpathalloc, maporder, goroutinediscipline, statsname.
+//
+// Modes:
+//
+//	(default)        print findings as text, exit 1 if any
+//	-json            print the findings document as JSON, exit 1 if any
+//	-gate FILE       compare findings against the committed baseline:
+//	                 baselined (justified, pre-existing) findings pass,
+//	                 any NEW finding fails; baseline entries that no
+//	                 longer fire are reported as stale but never block
+//	-write-baseline FILE  write current findings as the new baseline
+//	-audit           list every //lint:ignore directive with its
+//	                 analyzer, reason, and location; exit 1 if any
+//	                 directive lacks a reason
+//
 // Suppress a finding with a justified comment on, or directly above,
 // the offending line:
 //
@@ -26,47 +42,152 @@ import (
 
 func main() {
 	layersFlag := flag.String("layers", "", "layer policy file (default <module root>/seqlint.layers)")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON document on stdout")
+	gateFlag := flag.String("gate", "", "baseline findings file; fail only on findings not in it")
+	writeBaselineFlag := flag.String("write-baseline", "", "write current findings to this file and exit")
+	auditFlag := flag.Bool("audit", false, "list every lint:ignore directive; fail on missing reasons")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seqlint [-layers policy-file] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: seqlint [-layers policy-file] [-json] [-gate baseline] [-write-baseline file] [-audit] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(*layersFlag, flag.Args()); err != nil {
+	code, err := run(options{
+		layersFile:    *layersFlag,
+		json:          *jsonFlag,
+		gateFile:      *gateFlag,
+		writeBaseline: *writeBaselineFlag,
+		audit:         *auditFlag,
+		patterns:      flag.Args(),
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "seqlint: %v\n", err)
 		os.Exit(2)
 	}
+	os.Exit(code)
 }
 
-func run(layersFile string, patterns []string) error {
+type options struct {
+	layersFile    string
+	json          bool
+	gateFile      string
+	writeBaseline string
+	audit         bool
+	patterns      []string
+}
+
+func run(opts options) (int, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	modPath, modRoot, err := lint.Module(cwd)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if layersFile == "" {
-		layersFile = filepath.Join(modRoot, "seqlint.layers")
+	if opts.layersFile == "" {
+		opts.layersFile = filepath.Join(modRoot, "seqlint.layers")
 	}
-	rules, err := lint.LoadLayerPolicy(layersFile)
+	rules, err := lint.LoadLayerPolicy(opts.layersFile)
 	if err != nil {
-		return fmt.Errorf("loading layer policy: %v", err)
+		return 0, fmt.Errorf("loading layer policy: %v", err)
 	}
-	pkgs, err := lint.Load(cwd, patterns...)
+	pkgs, err := lint.Load(cwd, opts.patterns...)
 	if err != nil {
-		return err
+		return 0, err
 	}
+
+	if opts.audit {
+		return runAudit(modRoot, pkgs)
+	}
+
 	diags := lint.Run(pkgs, lint.Default(modPath, rules))
-	for _, d := range diags {
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			d.Pos.Filename = rel
+	report := lint.NewReport(modPath, modRoot, diags)
+
+	if opts.writeBaseline != "" {
+		f, err := os.Create(opts.writeBaseline)
+		if err != nil {
+			return 0, err
 		}
-		fmt.Println(d)
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "seqlint: wrote %d finding(s) to %s\n", len(report.Findings), opts.writeBaseline)
+		return 0, nil
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "seqlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+
+	if opts.gateFile != "" {
+		return runGate(report, opts.gateFile)
 	}
-	return nil
+
+	if opts.json {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			return 0, err
+		}
+		if len(report.Findings) > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	for _, f := range report.Findings {
+		fmt.Println(f)
+	}
+	if len(report.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "seqlint: %d finding(s)\n", len(report.Findings))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runGate compares current findings with the committed baseline. Only
+// findings absent from the baseline fail the gate; stale baseline
+// entries (fixed findings) are advisory, so cleaning up lint debt never
+// breaks CI.
+func runGate(report lint.Report, baselinePath string) (int, error) {
+	baseline, err := lint.LoadReport(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("loading baseline: %v", err)
+	}
+	res := lint.Gate(report, baseline)
+	for _, f := range res.Stale {
+		fmt.Fprintf(os.Stderr, "seqlint: stale baseline entry (fixed? remove it): %s\n", f)
+	}
+	if len(res.New) > 0 {
+		for _, f := range res.New {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "seqlint: %d new finding(s) not in baseline %s\n", len(res.New), baselinePath)
+		fmt.Fprintf(os.Stderr, "seqlint: fix them, add //lint:ignore with a reason, or regenerate the baseline deliberately\n")
+		return 1, nil
+	}
+	fmt.Fprintf(os.Stderr, "seqlint: gate clean (%d finding(s), all baselined)\n", len(report.Findings))
+	return 0, nil
+}
+
+// runAudit lists every //lint:ignore directive in the tree so reviewers
+// can see the full set of accepted exceptions in one place. A directive
+// with no reason fails the audit.
+func runAudit(modRoot string, pkgs []*lint.Package) (int, error) {
+	directives, malformed := lint.Directives(pkgs)
+	lines, unjustified := lint.Audit(modRoot, directives)
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	bad := len(malformed) + len(unjustified)
+	if bad > 0 {
+		for _, d := range malformed {
+			fmt.Fprintf(os.Stderr, "seqlint: %s\n", d)
+		}
+		for _, d := range unjustified {
+			fmt.Fprintf(os.Stderr, "seqlint: %s:%d: [%s] suppression has no reason\n", d.File, d.Line, d.Analyzer)
+		}
+		fmt.Fprintf(os.Stderr, "seqlint: %d unjustified suppression(s)\n", bad)
+		return 1, nil
+	}
+	fmt.Fprintf(os.Stderr, "seqlint: %d suppression(s), all justified\n", len(directives))
+	return 0, nil
 }

@@ -96,6 +96,7 @@ type searcher struct {
 // checkEvery bounds how often the cancellation context is polled.
 const checkEvery = 4096
 
+//seq:hotpath
 func (s *searcher) dfs(dim int, attrSum float64) error {
 	c := s.sctx
 	for _, cand := range s.cands[dim] {

@@ -303,6 +303,8 @@ func (s *searcher) candidatesInto(dim int, positions []int32, dst []simil.Cand) 
 const checkEvery = 4096
 
 // dfs is Exact-DFS (Algorithm 1) over the current subspace's candidates.
+//
+//seq:hotpath
 func (s *searcher) dfs(dim int, attrSum float64) error {
 	c := s.sctx
 	for _, cand := range s.cands[dim] {

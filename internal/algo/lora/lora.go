@@ -408,6 +408,8 @@ func (s *searcher) sampleBucket(b []simil.Cand, dim, cell int) []simil.Cand {
 }
 
 // cellDFS is Cell-Tuple-Enum (Algorithm 4).
+//
+//seq:hotpath
 func (s *searcher) cellDFS(dim int, scoreSum float64) error {
 	c := s.sctx
 	for _, sc := range s.cellLists[dim] {
@@ -447,6 +449,8 @@ func (s *searcher) cellDFS(dim int, scoreSum float64) error {
 // prefix ending at dim: if even the minimal pairwise distances already
 // exceed beta*||V_t*||, or (at full depth) the maximal distances cannot
 // reach ||V_t*||/beta, no point tuple inside can satisfy the constraint.
+//
+//seq:hotpath
 func (s *searcher) cellPrefixFeasible(dim int) bool {
 	c := s.sctx
 	if math.IsInf(c.Beta, 1) {
@@ -492,15 +496,19 @@ func (s *searcher) cellPrefixFeasible(dim int) bool {
 }
 
 // pointEnum is Point-Tuple-Enum (Algorithm 5) for the current cell tuple.
+//
+//seq:hotpath
 func (s *searcher) pointEnum() error {
 	if s.tr != nil {
 		t0 := time.Now()
+		//lint:ignore hotpathalloc tracing-only branch, gated on s.tr != nil; production searches never reach it
 		defer func() { s.pointDur += time.Since(t0) }()
 	}
 	c := s.sctx
 	m := c.M
 	s.local.cellTuples++
 	if s.listsBuf == nil {
+		//lint:ignore hotpathalloc grow-once per-searcher buffer; reused across every cell tuple
 		s.listsBuf = make([][]simil.Cand, m)
 	}
 	lists := s.listsBuf
@@ -511,6 +519,7 @@ func (s *searcher) pointEnum() error {
 		}
 		sims := s.simScratch[d][:0]
 		for _, cd := range lists[d] {
+			//lint:ignore hotpathalloc appends into the reused simScratch buffer; capacity is amortised across cell tuples
 			sims = append(sims, cd.Sim)
 		}
 		s.simScratch[d] = sims
@@ -571,6 +580,8 @@ func (s *searcher) pointEnum() error {
 // assembleTuple materialises the popped rank vector, applies the duplicate
 // and beta-norm checks, and offers the tuple to the global top-k. It
 // reports whether the tuple was valid (passed the checks).
+//
+//seq:hotpath
 func (s *searcher) assembleTuple(lists [][]simil.Cand, ranks []int32) bool {
 	c := s.sctx
 	m := c.M

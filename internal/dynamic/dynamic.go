@@ -71,32 +71,49 @@ func (s *Store) Search(ctx context.Context, q *query.Query, algo core.Algorithm,
 // among live objects. The object becomes searchable after the next
 // refresh.
 func (s *Store) Add(category string, obj dataset.Object) error {
-	s.mu.Lock()
-	ds := s.eng.Dataset()
-	if s.liveIDLocked(ds, obj.ID) {
-		s.mu.Unlock()
-		return fmt.Errorf("dynamic: object id %d already live", obj.ID)
+	due, err := s.queueAdd(category, obj)
+	if err != nil {
+		return err
 	}
-	delete(s.removes, obj.ID) // re-adding a previously removed id
-	s.adds = append(s.adds, pendingAdd{category: category, obj: obj})
-	due := s.dueLocked()
-	s.mu.Unlock()
 	if due {
 		return s.Refresh()
 	}
 	return nil
 }
 
+// queueAdd stages the add under the lock; Refresh (which re-acquires
+// s.mu) must happen after it returns, hence the two-phase shape.
+func (s *Store) queueAdd(category string, obj dataset.Object) (due bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.liveIDLocked(s.eng.Dataset(), obj.ID) {
+		return false, fmt.Errorf("dynamic: object id %d already live", obj.ID)
+	}
+	delete(s.removes, obj.ID) // re-adding a previously removed id
+	s.adds = append(s.adds, pendingAdd{category: category, obj: obj})
+	return s.dueLocked(), nil
+}
+
 // Remove queues the deletion of the object with this ID. It reports
 // whether the ID was live (in the snapshot or the pending adds).
 func (s *Store) Remove(id int64) bool {
+	live, due := s.queueRemove(id)
+	if due {
+		_ = s.Refresh()
+	}
+	return live
+}
+
+// queueRemove stages the removal under the lock; like queueAdd, Refresh
+// must run after the lock is released.
+func (s *Store) queueRemove(id int64) (live, due bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	// drop a matching pending add first
 	for i, pa := range s.adds {
 		if pa.obj.ID == id {
 			s.adds = append(s.adds[:i], s.adds[i+1:]...)
-			s.mu.Unlock()
-			return true
+			return true, false
 		}
 	}
 	ds := s.eng.Dataset()
@@ -108,16 +125,10 @@ func (s *Store) Remove(id int64) bool {
 		}
 	}
 	if !found || s.removes[id] {
-		s.mu.Unlock()
-		return false
+		return false, false
 	}
 	s.removes[id] = true
-	due := s.dueLocked()
-	s.mu.Unlock()
-	if due {
-		_ = s.Refresh()
-	}
-	return true
+	return true, s.dueLocked()
 }
 
 // liveIDLocked reports whether id exists in the snapshot (and is not

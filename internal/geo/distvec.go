@@ -4,6 +4,8 @@ import "math"
 
 // PairCount returns the number of pairwise distances in a size-m tuple,
 // m*(m-1)/2. It returns 0 for m < 2.
+//
+//seq:hotpath
 func PairCount(m int) int {
 	if m < 2 {
 		return 0
@@ -23,6 +25,8 @@ func PairCount(m int) int {
 // pruning bounds of DFS-Prune, HSP and LORA require. Cosine similarity is
 // invariant under any permutation applied consistently to both vectors, so
 // this is equivalent to the paper's row-major listing.
+//
+//seq:hotpath
 func PairIndex(i, j int) int {
 	if i > j {
 		i, j = j, i
@@ -32,9 +36,12 @@ func PairIndex(i, j int) int {
 
 // DistVector writes the distance vector of the tuple pts into dst (resized
 // as needed) and returns it. Layout follows PairIndex.
+//
+//seq:hotpath
 func DistVector(pts []Point, dst []float64) []float64 {
 	n := PairCount(len(pts))
 	if cap(dst) < n {
+		//lint:ignore hotpathalloc grow-once scratch resize; steady-state calls reuse dst at full capacity
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
@@ -56,9 +63,12 @@ func DistVector(pts []Point, dst []float64) []float64 {
 // pairwise loop reads contiguous float64 arrays. The arithmetic matches
 // Point.Dist expression-for-expression, so results are bit-identical to
 // DistVector over the gathered points.
+//
+//seq:hotpath
 func DistVectorAt(xs, ys []float64, idx []int32, dst []float64) []float64 {
 	n := PairCount(len(idx))
 	if cap(dst) < n {
+		//lint:ignore hotpathalloc grow-once scratch resize; steady-state calls reuse dst at full capacity
 		dst = make([]float64, n)
 	}
 	dst = dst[:n]
@@ -76,6 +86,8 @@ func DistVectorAt(xs, ys []float64, idx []int32, dst []float64) []float64 {
 }
 
 // Norm returns the 2-norm of v.
+//
+//seq:hotpath
 func Norm(v []float64) float64 {
 	var s float64
 	for _, x := range v {
@@ -86,6 +98,8 @@ func Norm(v []float64) float64 {
 
 // TupleNorm returns ||V_t|| for the tuple pts without materialising the
 // distance vector.
+//
+//seq:hotpath
 func TupleNorm(pts []Point) float64 {
 	var s float64
 	for j := 1; j < len(pts); j++ {
@@ -101,6 +115,8 @@ func TupleNorm(pts []Point) float64 {
 // holds for a tuple norm n against the example norm ref. beta must be >= 1;
 // an infinite beta accepts everything (the SEQ relaxation). A zero ref with
 // finite beta is only satisfied by a zero n.
+//
+//seq:hotpath
 func NormOK(n, ref, beta float64) bool {
 	if math.IsInf(beta, 1) {
 		return true

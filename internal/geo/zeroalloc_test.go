@@ -1,0 +1,40 @@
+package geo
+
+import "testing"
+
+// DistVectorAt is the SoA distance kernel on every search's inner loop;
+// with a capacity-sufficient dst it must not allocate (the grow-once
+// resize branch carries its own justified lint:ignore).
+
+func TestDistVectorAtZeroAlloc(t *testing.T) {
+	xs := []float64{0, 3, 0, 7, 2}
+	ys := []float64{0, 4, 8, 1, 2}
+	idx := []int32{0, 1, 2, 4}
+	dst := make([]float64, PairCount(len(idx)))
+	if got := testing.AllocsPerRun(100, func() {
+		dst = DistVectorAt(xs, ys, idx, dst)
+	}); got != 0 {
+		t.Errorf("DistVectorAt with presized dst allocates %v times per call, want 0", got)
+	}
+}
+
+func TestDistVectorZeroAlloc(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 3, Y: 4}, {X: 0, Y: 8}, {X: 2, Y: 2}}
+	dst := make([]float64, PairCount(len(pts)))
+	if got := testing.AllocsPerRun(100, func() {
+		dst = DistVector(pts, dst)
+	}); got != 0 {
+		t.Errorf("DistVector with presized dst allocates %v times per call, want 0", got)
+	}
+}
+
+func TestTupleNormZeroAlloc(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 3, Y: 4}, {X: 0, Y: 8}}
+	var sink float64
+	if got := testing.AllocsPerRun(100, func() {
+		sink = TupleNorm(pts)
+	}); got != 0 {
+		t.Errorf("TupleNorm allocates %v times per call, want 0", got)
+	}
+	_ = sink
+}

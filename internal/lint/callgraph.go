@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncNode is one function or method declared in the module: its
+// declaration, the package holding it, and the module functions it calls
+// directly. The graph is built from static call edges only — calls
+// through interface values, function-typed variables, and the go/defer
+// of method values are not resolved (an interface callee is checked by
+// annotating its implementations instead).
+type FuncNode struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	// Callees are the module-internal functions this one calls directly,
+	// in source order (deduplicated).
+	Callees []*FuncNode
+}
+
+// Name renders the node's package-relative function name
+// ("internal/topk.Heap.Offer").
+func (n *FuncNode) Name() string {
+	return n.Pkg.Rel + "." + funcName(n.Decl)
+}
+
+// CallGraph indexes every declared function of the loaded packages and
+// the static call edges between them.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+}
+
+// BuildCallGraph constructs the module call graph over the loaded
+// packages. Cross-package edges resolve because every module package is
+// type-checked against the same shared dependency set, so a callee's
+// *types.Func is pointer-identical in the caller's Uses map and the
+// callee's Defs map.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range pkgs {
+		eachFunc(pkg, func(fd *ast.FuncDecl) {
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				return
+			}
+			g.nodes[obj] = &FuncNode{Pkg: pkg, Decl: fd, Obj: obj}
+		})
+	}
+	for _, n := range g.nodes {
+		n.Callees = g.calleesOf(n)
+	}
+	return g
+}
+
+// NodeOf returns the graph node declaring fn, or nil when fn is not a
+// module function (stdlib, interface method, or outside the loaded set).
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	// Generic instantiations use the origin declaration's body.
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return g.nodes[fn]
+}
+
+// Each visits every node in the graph (iteration order is unspecified;
+// callers sort their own output).
+func (g *CallGraph) Each(f func(*FuncNode)) {
+	for _, n := range g.nodes {
+		f(n)
+	}
+}
+
+// calleesOf resolves the static call edges out of n's body.
+func (g *CallGraph) calleesOf(n *FuncNode) []*FuncNode {
+	var out []*FuncNode
+	seen := make(map[*FuncNode]bool)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := g.NodeOf(calleeOf(n.Pkg.Info, call)); callee != nil && !seen[callee] {
+			seen[callee] = true
+			out = append(out, callee)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeOf resolves the called function object of a call expression, or
+// nil for built-ins, conversions, function values, and interface-method
+// calls (a *types.Func whose receiver is an interface carries no body to
+// analyze).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if types.IsInterface(recv.Type()) {
+			return nil
+		}
+	}
+	return fn
+}

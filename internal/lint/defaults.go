@@ -20,5 +20,9 @@ func Default(modPath string, rules []LayerRule) []*Analyzer {
 		Layering(modPath, rules),
 		PanicFree(),
 		ErrDrop(),
+		HotPathAlloc(),
+		MapOrder(),
+		GoroutineDiscipline(),
+		StatsName(DefaultStatsNameConfig),
 	}
 }

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FindingsSchemaVersion versions the machine-readable findings document,
+// mirroring the bench record schema: consumers hard-fail on a version
+// they do not understand rather than misread fields.
+const FindingsSchemaVersion = 1
+
+// Finding is one diagnostic in the machine-readable findings format.
+// File is module-root-relative with forward slashes, so documents
+// produced on different checkouts (CI vs. local) compare equal.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Key is the baseline identity of the finding: file, analyzer, and
+// message — deliberately not the line number, so unrelated edits that
+// shift a justified finding up or down the file do not churn the
+// baseline.
+func (f Finding) Key() string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// Report is the top-level findings document emitted by `seqlint -json`
+// and stored as LINT_baseline.json.
+type Report struct {
+	SchemaVersion int       `json:"schema_version"`
+	Module        string    `json:"module"`
+	Findings      []Finding `json:"findings"`
+}
+
+// NewReport converts diagnostics into a findings document, relativizing
+// file paths against the module root.
+func NewReport(module, modRoot string, diags []Diagnostic) Report {
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, Finding{
+			File:     relPath(modRoot, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return Report{SchemaVersion: FindingsSchemaVersion, Module: module, Findings: findings}
+}
+
+// relPath renders path relative to root with forward slashes, falling
+// back to the input when it does not sit under root.
+func relPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WriteJSON emits the report as indented JSON with a trailing newline —
+// the exact bytes committed as LINT_baseline.json, so regenerating an
+// unchanged baseline is a no-op diff.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadReport reads a findings document, rejecting unknown schema
+// versions.
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.SchemaVersion != FindingsSchemaVersion {
+		return Report{}, fmt.Errorf("%s: schema_version %d, want %d (regenerate with seqlint -write-baseline)",
+			path, r.SchemaVersion, FindingsSchemaVersion)
+	}
+	return r, nil
+}
+
+// GateResult classifies current findings against a baseline. New is
+// every current finding with no matching budget in the baseline — these
+// block. Stale is every baseline entry no current finding consumed —
+// fixed findings whose baseline lines should be deleted; they warn but
+// never block, so fixing a finding cannot fail the gate.
+type GateResult struct {
+	New   []Finding
+	Stale []Finding
+}
+
+// Gate compares current findings against the baseline as a multiset
+// keyed by (file, analyzer, message): N baseline entries with one key
+// absorb at most N current findings with that key. Line numbers are
+// ignored (see Finding.Key).
+func Gate(current, baseline Report) GateResult {
+	budget := make(map[string]int)
+	for _, f := range baseline.Findings {
+		budget[f.Key()]++
+	}
+	var res GateResult
+	for _, f := range current.Findings {
+		if budget[f.Key()] > 0 {
+			budget[f.Key()]--
+			continue
+		}
+		res.New = append(res.New, f)
+	}
+	// Surviving budget = baseline entries nothing consumed. Report them
+	// in baseline order, respecting multiplicity.
+	for _, f := range baseline.Findings {
+		key := f.Key()
+		if budget[key] > 0 {
+			budget[key]--
+			res.Stale = append(res.Stale, f)
+		}
+	}
+	return res
+}
+
+// Audit renders every //lint:ignore directive for review, sorted by
+// file and line, with paths relative to the module root. The second
+// return lists directives with an empty reason (Directives already
+// reports these as malformed findings; audit re-checks so `seqlint
+// -audit` stands alone).
+func Audit(modRoot string, directives []IgnoreDirective) (lines []string, unjustified []IgnoreDirective) {
+	sorted := make([]IgnoreDirective, len(directives))
+	copy(sorted, directives)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].File != sorted[j].File {
+			return sorted[i].File < sorted[j].File
+		}
+		return sorted[i].Line < sorted[j].Line
+	})
+	for _, d := range sorted {
+		if d.Reason == "" {
+			unjustified = append(unjustified, d)
+		}
+		lines = append(lines, fmt.Sprintf("%s:%d: [%s] %s", relPath(modRoot, d.File), d.Line, d.Analyzer, d.Reason))
+	}
+	return lines, unjustified
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+func finding(file, analyzer, msg string, line int) Finding {
+	return Finding{File: file, Line: line, Analyzer: analyzer, Message: msg}
+}
+
+func TestGateLineShiftInvariance(t *testing.T) {
+	baseline := Report{SchemaVersion: FindingsSchemaVersion, Findings: []Finding{
+		finding("a.go", "hotpathalloc", "make allocates", 10),
+	}}
+	current := Report{SchemaVersion: FindingsSchemaVersion, Findings: []Finding{
+		finding("a.go", "hotpathalloc", "make allocates", 42), // moved by edits above it
+	}}
+	res := Gate(current, baseline)
+	if len(res.New) != 0 || len(res.Stale) != 0 {
+		t.Fatalf("line-shifted finding must match its baseline entry: %+v", res)
+	}
+}
+
+func TestGateNewFinding(t *testing.T) {
+	baseline := Report{SchemaVersion: FindingsSchemaVersion}
+	current := Report{SchemaVersion: FindingsSchemaVersion, Findings: []Finding{
+		finding("a.go", "maporder", "map iteration order reaches a return value", 3),
+	}}
+	res := Gate(current, baseline)
+	if len(res.New) != 1 {
+		t.Fatalf("unbaselined finding must be new: %+v", res)
+	}
+}
+
+func TestGateStaleAdvisory(t *testing.T) {
+	baseline := Report{SchemaVersion: FindingsSchemaVersion, Findings: []Finding{
+		finding("a.go", "errdrop", "dropped error", 5),
+		finding("b.go", "errdrop", "dropped error", 9),
+	}}
+	current := Report{SchemaVersion: FindingsSchemaVersion, Findings: []Finding{
+		finding("a.go", "errdrop", "dropped error", 5),
+	}}
+	res := Gate(current, baseline)
+	if len(res.New) != 0 {
+		t.Fatalf("fixed finding must not create new findings: %+v", res.New)
+	}
+	if len(res.Stale) != 1 || res.Stale[0].File != "b.go" {
+		t.Fatalf("the fixed b.go entry must be stale: %+v", res.Stale)
+	}
+}
+
+func TestGateMultiset(t *testing.T) {
+	// Two identical findings in the baseline absorb at most two current
+	// ones; a third with the same key is new.
+	b := finding("a.go", "hotpathalloc", "append may grow its backing array", 1)
+	baseline := Report{SchemaVersion: FindingsSchemaVersion, Findings: []Finding{b, b}}
+	current := Report{SchemaVersion: FindingsSchemaVersion, Findings: []Finding{
+		finding("a.go", "hotpathalloc", "append may grow its backing array", 11),
+		finding("a.go", "hotpathalloc", "append may grow its backing array", 22),
+		finding("a.go", "hotpathalloc", "append may grow its backing array", 33),
+	}}
+	res := Gate(current, baseline)
+	if len(res.New) != 1 || res.New[0].Line != 33 {
+		t.Fatalf("third duplicate must be new: %+v", res.New)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := NewReport("spatialseq", "/mod", []Diagnostic{{
+		Pos:      token.Position{Filename: "/mod/internal/x/x.go", Line: 7},
+		Analyzer: "maporder",
+		Message:  "map iteration order reaches a return value",
+	}})
+	if r.Findings[0].File != "internal/x/x.go" {
+		t.Fatalf("file not relativized: %q", r.Findings[0].File)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"schema_version": 1`) || !strings.Contains(out, `"internal/x/x.go"`) {
+		t.Fatalf("unexpected JSON: %s", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("JSON document must end with a newline (committed-file hygiene)")
+	}
+}
+
+func TestLoadReportRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/baseline.json"
+	if err := writeFile(path, `{"schema_version": 99, "module": "m", "findings": []}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("want schema_version error, got %v", err)
+	}
+}
+
+func TestAuditFlagsEmptyReasons(t *testing.T) {
+	directives := []IgnoreDirective{
+		{File: "/mod/a.go", Line: 3, Analyzer: "floatcmp", Reason: "sentinel check"},
+		{File: "/mod/b.go", Line: 8, Analyzer: "maporder", Reason: ""},
+	}
+	lines, unjustified := Audit("/mod", directives)
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "a.go:3:") {
+		t.Fatalf("unexpected audit lines: %v", lines)
+	}
+	if len(unjustified) != 1 || unjustified[0].File != "/mod/b.go" {
+		t.Fatalf("empty reason must be unjustified: %+v", unjustified)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

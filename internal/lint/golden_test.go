@@ -102,6 +102,42 @@ func TestErrDropGolden(t *testing.T) {
 	checkGolden(t, loadFixture(t, "./testdata/src/errdrop"), []*Analyzer{ErrDrop()})
 }
 
+func TestHotPathAllocGolden(t *testing.T) {
+	checkGolden(t, loadFixture(t, "./testdata/src/hotpathalloc/..."), []*Analyzer{HotPathAlloc()})
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	checkGolden(t, loadFixture(t, "./testdata/src/maporder"), []*Analyzer{MapOrder()})
+}
+
+func TestGoroutineDisciplineGolden(t *testing.T) {
+	checkGolden(t, loadFixture(t, "./testdata/src/goroutinedisc"), []*Analyzer{GoroutineDiscipline()})
+}
+
+func TestStatsNameGolden(t *testing.T) {
+	cfg := StatsNameConfig{
+		SourcePkg:    "internal/lint/testdata/src/statsname/statspkg",
+		SourceType:   "Snapshot",
+		SourceMethod: "Each",
+	}
+	checkGolden(t, loadFixture(t, "./testdata/src/statsname/..."), []*Analyzer{StatsName(cfg)})
+}
+
+// TestStatsNameSilentWithoutSource pins the subset-run behavior: when
+// the name-source package is not part of the analyzed set, statsname
+// reports nothing rather than flagging every literal as unknown.
+func TestStatsNameSilentWithoutSource(t *testing.T) {
+	cfg := StatsNameConfig{
+		SourcePkg:    "internal/lint/testdata/src/statsname/statspkg",
+		SourceType:   "Snapshot",
+		SourceMethod: "Each",
+	}
+	pkgs := loadFixture(t, "./testdata/src/statsname/user")
+	if diags := Run(pkgs, []*Analyzer{StatsName(cfg)}); len(diags) != 0 {
+		t.Fatalf("statsname on a subset without the source reported %v", diags)
+	}
+}
+
 // TestMalformedIgnore pins the engine's own diagnostic for a
 // lint:ignore directive missing its analyzer and reason.
 func TestMalformedIgnore(t *testing.T) {

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// GoroutineDiscipline returns the goroutinediscipline analyzer, guarding
+// the structured-concurrency rules the parallel subspace searches follow
+// and the roadmap's work-stealing kernels will depend on:
+//
+//  1. every go statement must be joined — the spawned body signals a
+//     sync.WaitGroup (Done), runs a context-cancelled loop (ctx.Done()),
+//     or sends on a channel, or the spawning function calls Wait after
+//     the go statement. A fire-and-forget goroutine can outlive the
+//     search that spawned it and race a later query's state;
+//  2. a function that acquires a mutex without a deferred release and
+//     then returns from two or more places is one refactor away from a
+//     leaked lock — syncmisuse proves today's paths balanced, this rule
+//     flags the fragile shape itself.
+func GoroutineDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "goroutinediscipline",
+		Doc:  "require joined goroutines and defer-released locks on multi-return functions",
+		Run: func(pkg *Package) []Diagnostic {
+			var diags []Diagnostic
+			diags = append(diags, unjoinedGoroutines(pkg)...)
+			diags = append(diags, manualUnlockMultiReturn(pkg)...)
+			return diags
+		},
+	}
+}
+
+// unjoinedGoroutines flags go statements with no visible join.
+func unjoinedGoroutines(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	checkFn := func(body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineJoined(pkg, gs, body) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos: position(pkg, gs),
+				Message: "goroutine is fire-and-forget: join it (WaitGroup/Wait), " +
+					"loop on ctx.Done(), or send its result on a channel the spawner drains",
+			})
+			return true
+		})
+	}
+	eachFunc(pkg, func(fd *ast.FuncDecl) { checkFn(fd.Body) })
+	return diags
+}
+
+// goroutineJoined looks for join evidence: inside the spawned literal, a
+// WaitGroup.Done call, a ctx.Done() receive, or a channel send; in the
+// enclosing body, a WaitGroup.Wait call after the go statement.
+func goroutineJoined(pkg *Package, gs *ast.GoStmt, enclosing *ast.BlockStmt) bool {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		joined := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if joined {
+				return false
+			}
+			switch v := n.(type) {
+			case *ast.SendStmt:
+				joined = true
+			case *ast.CallExpr:
+				if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "Done":
+						// Both joins spell "Done": wg.Done signals a join,
+						// ctx.Done() drives a cancellation loop.
+						joined = true
+					}
+				}
+			}
+			return true
+		})
+		if joined {
+			return true
+		}
+	}
+	// A Wait call after the go statement in the spawning function.
+	waited := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if waited {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < gs.End() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+			waited = true
+		}
+		return true
+	})
+	return waited
+}
+
+// manualUnlockMultiReturn flags a mutex acquired without a deferred
+// release in a function that returns from two or more places after the
+// acquisition.
+func manualUnlockMultiReturn(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	check := func(body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		// Keys released by defer anywhere in the body.
+		deferred := make(map[string]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				if key, kind := lockCall(pkg.Info, ds.Call); kind == release {
+					deferred[key] = true
+				}
+			}
+			return true
+		})
+		type acq struct {
+			call *ast.CallExpr
+			key  string
+		}
+		var acquires []acq
+		var returns []token.Pos
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncLit:
+				return false // literals get their own pass
+			case *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if key, kind := lockCall(pkg.Info, v); kind == acquire && !deferred[key] {
+					acquires = append(acquires, acq{v, key})
+				}
+			case *ast.ReturnStmt:
+				returns = append(returns, v.Pos())
+			}
+			return true
+		})
+		for _, a := range acquires {
+			after := 0
+			for _, r := range returns {
+				if r > a.call.End() {
+					after++
+				}
+			}
+			if after >= 2 {
+				diags = append(diags, Diagnostic{
+					Pos: position(pkg, a.call),
+					Message: fmt.Sprintf(
+						"%s is released manually across %d returns; use defer so new return paths cannot leak the lock",
+						a.key, after),
+				})
+			}
+		}
+	}
+	inspect(pkg, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			check(fn.Body)
+		case *ast.FuncLit:
+			check(fn.Body)
+		}
+		return true
+	})
+	return diags
+}

@@ -40,27 +40,45 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check run over a type-checked package.
+// Analyzer is one named check. Syntactic and single-package checks set
+// Run, which is applied to each package independently; whole-program
+// checks (the call-graph-powered hotpathalloc, the cross-package
+// statsname) set RunAll, which sees every loaded package at once. An
+// analyzer sets exactly one of the two.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Package) []Diagnostic
+	Name   string
+	Doc    string
+	Run    func(*Package) []Diagnostic
+	RunAll func([]*Package) []Diagnostic
 }
 
-// Run applies every analyzer to every package, filters findings through
-// //lint:ignore suppressions, and returns the surviving diagnostics
-// sorted by file, line, and analyzer.
+// Run applies every analyzer to every package (module-level analyzers see
+// the whole package set at once), filters findings through //lint:ignore
+// suppressions gathered across all files, and returns the surviving
+// diagnostics sorted by file, line, and analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.RunAll != nil {
+			for _, d := range a.RunAll(pkgs) {
+				d.Analyzer = a.Name
+				raw = append(raw, d)
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
 			for _, d := range a.Run(pkg) {
 				d.Analyzer = a.Name
-				pkgDiags = append(pkgDiags, d)
+				raw = append(raw, d)
 			}
 		}
-		diags = append(diags, suppress(pkg, pkgDiags)...)
+	}
+	directives, malformed := Directives(pkgs)
+	diags := malformed
+	for _, d := range raw {
+		if !suppressed(d, directives) {
+			diags = append(diags, d)
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -78,64 +96,65 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
-type ignoreDirective struct {
-	file     string
-	line     int // line the comment sits on
-	analyzer string
-	reason   string
+// IgnoreDirective is one parsed //lint:ignore comment: where it sits,
+// which analyzer it silences, and the stated justification. The audit
+// mode (`seqlint -audit`) lists these; the suppression filter consumes
+// them.
+type IgnoreDirective struct {
+	File     string
+	Line     int // line the comment sits on
+	Analyzer string
+	Reason   string
 }
 
-// suppress drops diagnostics covered by a //lint:ignore directive on the
-// same line or the line directly above, and reports malformed directives
-// (missing analyzer or reason) as findings of the engine itself.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	var directives []ignoreDirective
-	var out []Diagnostic
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:ignore") {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
-				if len(fields) < 2 {
-					out = append(out, Diagnostic{
-						Pos:      pos,
-						Analyzer: "lint",
-						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+// Directives collects every //lint:ignore directive across the loaded
+// packages, plus engine diagnostics for malformed ones (missing analyzer
+// or reason).
+func Directives(pkgs []*Package) ([]IgnoreDirective, []Diagnostic) {
+	var directives []IgnoreDirective
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "lint:ignore") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					directives = append(directives, IgnoreDirective{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
 					})
-					continue
 				}
-				directives = append(directives, ignoreDirective{
-					file:     pos.Filename,
-					line:     pos.Line,
-					analyzer: fields[0],
-					reason:   strings.Join(fields[1:], " "),
-				})
 			}
 		}
 	}
-	for _, d := range diags {
-		if !suppressed(d, directives) {
-			out = append(out, d)
-		}
-	}
-	return out
+	return directives, malformed
 }
 
 // suppressed reports whether some directive covers the diagnostic: same
 // file, matching analyzer, and the directive sits on the diagnostic's
-// line (trailing comment) or the line above (standalone comment).
-func suppressed(d Diagnostic, directives []ignoreDirective) bool {
+// line (trailing comment) or the line directly above (standalone
+// comment).
+func suppressed(d Diagnostic, directives []IgnoreDirective) bool {
 	for _, dir := range directives {
-		if dir.file != d.Pos.Filename || dir.analyzer != d.Analyzer {
+		if dir.File != d.Pos.Filename || dir.Analyzer != d.Analyzer {
 			continue
 		}
-		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+		if dir.Line == d.Pos.Line || dir.Line == d.Pos.Line-1 {
 			return true
 		}
 	}

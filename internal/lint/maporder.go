@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder returns the maporder analyzer: ranging over a map and letting
+// the iteration order reach an ordered sink — a slice being appended to,
+// a writer/encoder, or a return from inside the loop — is a determinism
+// bug. The house rule is bit-for-bit exactness: two runs over the same
+// data must emit identical bytes, and Go randomizes map iteration
+// precisely to flush out this class of code.
+//
+// The collect-then-sort idiom is recognized: a loop that only appends
+// keys (or values) into a slice which a later sort call in the same
+// function orders is clean. Order-insensitive folds (sums, max, writes
+// into another map) are never flagged. `for range m` without a bound
+// key or value cannot leak order and is skipped.
+func MapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag map iteration whose order reaches a return, append, or encoder without a sort",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	check := func(body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		sorted := sortCallPositions(pkg, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := typeOf(pkg, rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !bindsIdent(rs.Key) && !bindsIdent(rs.Value) {
+				return true // order cannot leak without a bound key/value
+			}
+			sink, kind := orderedSink(pkg, rs)
+			if sink == nil {
+				return true
+			}
+			if kind == sinkAppend && sortedAfter(sorted, rs.End()) {
+				return true // collect-then-sort idiom
+			}
+			diags = append(diags, Diagnostic{
+				Pos: position(pkg, rs),
+				Message: fmt.Sprintf(
+					"map iteration order reaches %s; iterate a sorted key slice instead (exactness rule)", kind),
+			})
+			return true
+		})
+	}
+	eachFunc(pkg, func(fd *ast.FuncDecl) { check(fd.Body) })
+	return diags
+}
+
+type sinkKind string
+
+const (
+	sinkAppend  sinkKind = "a slice append"
+	sinkWriter  sinkKind = "a writer/encoder"
+	sinkReturn  sinkKind = "a return value"
+	sinkNothing sinkKind = ""
+)
+
+// orderedSink finds the first order-sensitive sink inside the loop body,
+// in source order.
+func orderedSink(pkg *Package, rs *ast.RangeStmt) (ast.Node, sinkKind) {
+	var node ast.Node
+	kind := sinkNothing
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if node != nil {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.ReturnStmt:
+			if len(v.Results) > 0 {
+				node, kind = v, sinkReturn
+			}
+		case *ast.CallExpr:
+			if isAppendToOuter(pkg, v, rs) {
+				node, kind = v, sinkAppend
+			} else if isWriterCall(pkg, v) {
+				node, kind = v, sinkWriter
+			}
+		}
+		return true
+	})
+	return node, kind
+}
+
+// isAppendToOuter reports whether call appends to a slice declared
+// outside the range loop (appending to a loop-local accumulator cannot
+// leak order beyond the iteration).
+func isAppendToOuter(pkg *Package, call *ast.CallExpr, rs *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		if _, builtin := obj.(*types.Builtin); !builtin {
+			return false
+		}
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[dst]
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	case *ast.SelectorExpr:
+		return true // field of some outer struct
+	}
+	return false
+}
+
+// isWriterCall reports whether the call emits bytes in order: an Encode
+// or Write* method, or an fmt print function.
+func isWriterCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if obj := pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Sprint")
+	}
+	switch name {
+	case "Encode", "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// sortCallPositions collects the positions of sort calls (sort.*,
+// slices.Sort*, and the repo's own Sort* helpers) in the body.
+func sortCallPositions(pkg *Package, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if obj := pkg.Info.Uses[f.Sel]; obj != nil && obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "sort":
+					// Everything sort exports orders its argument
+					// (Strings, Ints, Slice, SliceStable, Sort, Stable).
+					out = append(out, call.Pos())
+				case "slices":
+					if strings.HasPrefix(f.Sel.Name, "Sort") {
+						out = append(out, call.Pos())
+					}
+				}
+			}
+		case *ast.Ident:
+			if strings.HasPrefix(f.Name, "Sort") || strings.HasPrefix(f.Name, "sort") {
+				out = append(out, call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether any sort call sits after pos.
+func sortedAfter(sorts []token.Pos, pos token.Pos) bool {
+	for _, p := range sorts {
+		if p > pos {
+			return true
+		}
+	}
+	return false
+}
+
+// bindsIdent reports whether the range clause binds e to a usable name.
+func bindsIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name != "_"
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// StatsNameConfig locates the single source of truth for work-counter
+// names: the method whose body enumerates every counter as a string
+// literal (internal/stats.Snapshot.Each in this repo).
+type StatsNameConfig struct {
+	// SourcePkg is the module-relative package holding the name source.
+	SourcePkg string
+	// SourceType and SourceMethod name the enumerating method.
+	SourceType, SourceMethod string
+}
+
+// DefaultStatsNameConfig points at internal/stats.Snapshot.Each, the
+// name source the server's /metrics work counters, the /search
+// include_stats payload, and bench.WorkMap all read from.
+var DefaultStatsNameConfig = StatsNameConfig{
+	SourcePkg:    "internal/stats",
+	SourceType:   "Snapshot",
+	SourceMethod: "Each",
+}
+
+// StatsName returns the statsname analyzer: every string literal that
+// names a work counter must resolve to the canonical set enumerated by
+// the configured source method, so /metrics, include_stats, and
+// bench.WorkTotal can never drift apart when a counter is added or
+// renamed. Checked contexts:
+//
+//   - indexing or key-ing a map[string]int64 (the bench work-map shape)
+//     with a literal: the literal must be a canonical counter name;
+//   - strings.HasPrefix(_, "foo_") with a snake_case literal ending in
+//     an underscore: the literal must prefix at least one canonical
+//     name (the benchdiff/WorkTotal cache-telemetry exclusion).
+//
+// When the source package is not part of the analyzed set (a subset
+// run), the analyzer is silent; a present package whose source method is
+// missing is itself a finding, because every downstream name would then
+// be unverifiable.
+func StatsName(cfg StatsNameConfig) *Analyzer {
+	return &Analyzer{
+		Name:   "statsname",
+		Doc:    "require counter-name literals to resolve to the stats.Snapshot.Each name source",
+		RunAll: func(pkgs []*Package) []Diagnostic { return runStatsName(pkgs, cfg) },
+	}
+}
+
+func runStatsName(pkgs []*Package, cfg StatsNameConfig) []Diagnostic {
+	var src *Package
+	for _, pkg := range pkgs {
+		if pkg.Rel == cfg.SourcePkg {
+			src = pkg
+			break
+		}
+	}
+	if src == nil {
+		return nil // subset run without the name source; nothing to check against
+	}
+	names := canonicalNames(src, cfg)
+	if len(names) == 0 {
+		var pos = src.Fset.Position(src.Files[0].Pos())
+		return []Diagnostic{{
+			Pos: pos,
+			Message: fmt.Sprintf("name source %s.%s.%s not found or empty; counter names are unverifiable",
+				cfg.SourcePkg, cfg.SourceType, cfg.SourceMethod),
+		}}
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg == src {
+			continue
+		}
+		diags = append(diags, checkCounterLiterals(pkg, names)...)
+	}
+	return diags
+}
+
+// canonicalNames extracts the string literals from the source method's
+// body — the definitive counter-name set.
+func canonicalNames(src *Package, cfg StatsNameConfig) map[string]bool {
+	names := make(map[string]bool)
+	eachFunc(src, func(fd *ast.FuncDecl) {
+		if fd.Name.Name != cfg.SourceMethod || fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return
+		}
+		if baseTypeName(fd.Recv.List[0].Type) != cfg.SourceType {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit := stringLit(n); lit != "" {
+				names[lit] = true
+			}
+			return true
+		})
+	})
+	return names
+}
+
+// checkCounterLiterals scans one package for counter-name literals in
+// the checked contexts.
+func checkCounterLiterals(pkg *Package, names map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{Pos: position(pkg, n), Message: fmt.Sprintf(format, args...)})
+	}
+	inspect(pkg, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.IndexExpr:
+			lit := stringLit(v.Index)
+			if lit == "" || !isWorkMap(typeOf(pkg, v.X)) {
+				return true
+			}
+			if !names[lit] {
+				report(v.Index, "counter name %q is not published by the stats name source%s",
+					lit, closest(lit, names))
+			}
+		case *ast.CompositeLit:
+			if !isWorkMap(typeOf(pkg, v)) {
+				return true
+			}
+			for _, el := range v.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if lit := stringLit(kv.Key); lit != "" && !names[lit] {
+					report(kv.Key, "counter name %q is not published by the stats name source%s",
+						lit, closest(lit, names))
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "HasPrefix" || len(v.Args) != 2 {
+				return true
+			}
+			if obj := pkg.Info.Uses[sel.Sel]; obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "strings" {
+				return true
+			}
+			lit := stringLit(v.Args[1])
+			if lit == "" || !strings.HasSuffix(lit, "_") || !isSnakeCase(lit) {
+				return true
+			}
+			matched := false
+			for name := range names {
+				if strings.HasPrefix(name, lit) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				report(v.Args[1], "prefix %q matches no counter published by the stats name source", lit)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isWorkMap reports whether t is (or points at) map[string]int64, the
+// work-counter map shape shared by bench records and benchdiff.
+func isWorkMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	k, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || k.Kind() != types.String {
+		return false
+	}
+	v, ok := m.Elem().Underlying().(*types.Basic)
+	return ok && v.Kind() == types.Int64
+}
+
+// stringLit unquotes n when it is a string literal, else "".
+func stringLit(n ast.Node) string {
+	bl, ok := n.(*ast.BasicLit)
+	if !ok || bl.Kind.String() != "STRING" {
+		return ""
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+// isSnakeCase reports whether s is a lower-snake-case token with at
+// least one letter (a bare "__" sentinel prefix is not a counter name).
+func isSnakeCase(s string) bool {
+	letter := false
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+			letter = true
+		case r >= '0' && r <= '9' || r == '_':
+		default:
+			return false
+		}
+	}
+	return letter
+}
+
+// closest renders a “did you mean” suffix naming the nearest canonical
+// name by shared prefix length, for actionable messages.
+func closest(lit string, names map[string]bool) string {
+	best, bestLen := "", -1
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		l := commonPrefixLen(lit, n)
+		if l > bestLen {
+			best, bestLen = n, l
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (did you mean %q?)", best)
+}
+
+func commonPrefixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

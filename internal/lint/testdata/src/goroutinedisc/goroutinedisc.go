@@ -1,0 +1,102 @@
+// Package goroutinedisc is a seqlint golden-file fixture for
+// goroutinediscipline.
+package goroutinedisc
+
+import (
+	"context"
+	"sync"
+)
+
+func badFireAndForget(work func()) {
+	go work() // want goroutinediscipline "fire-and-forget"
+}
+
+func goodWaitGroup(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func goodChannelSend(c chan int) {
+	go func() {
+		c <- 1
+	}()
+	<-c
+}
+
+func goodCtxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func goodWaitAfter(run func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go run()
+	wg.Wait()
+}
+
+func suppressedGo(daemon func()) {
+	//lint:ignore goroutinediscipline fixture: process-lifetime daemon, joined by exit
+	go daemon()
+}
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) badManualUnlock(flag bool) int {
+	s.mu.Lock() // want goroutinediscipline "released manually across 2 returns"
+	if flag {
+		v := s.n
+		s.mu.Unlock()
+		return v
+	}
+	s.n++
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) goodDefer(flag bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if flag {
+		return s.n
+	}
+	s.n++
+	return s.n
+}
+
+// goodSingleReturn releases manually on a single straight-line path:
+// acceptable (one return after the acquire).
+func (s *store) goodSingleReturn() int {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) suppressedManual(flag bool) int {
+	//lint:ignore goroutinediscipline fixture: lock must drop before the blocking call on each path
+	s.mu.Lock()
+	if flag {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return 1
+}

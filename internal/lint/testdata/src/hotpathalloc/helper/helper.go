@@ -1,0 +1,30 @@
+// Package helper is reached from the kernel fixture's annotated roots;
+// hotpathalloc follows the cross-package call graph into it.
+package helper
+
+// Sum allocates on the hot path of kernel.Transitive; the diagnostic
+// names the annotated root.
+func Sum(xs []float64) float64 {
+	tmp := make([]float64, len(xs)) // want hotpathalloc "make allocates in //seq:hotpath code .on the hot path of .*Transitive"
+	copy(tmp, xs)
+	var s float64
+	for _, x := range tmp {
+		s += x
+	}
+	return s
+}
+
+// Grow is a deliberate grow-once resize; the suppression sits at the
+// alloc site, where the diagnostic lands.
+func Grow(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		//lint:ignore hotpathalloc fixture: grow-once scratch resize reached transitively
+		dst = make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// Unreached allocates but no annotated function calls it.
+func Unreached() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,117 @@
+// Package kernel is a seqlint golden-file fixture for hotpathalloc.
+package kernel
+
+import (
+	"fmt"
+
+	"spatialseq/internal/lint/testdata/src/hotpathalloc/helper"
+)
+
+// Score is a clean hot-path kernel: arithmetic over existing storage.
+//
+//seq:hotpath
+func Score(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return s
+}
+
+//seq:hotpath
+func BadMake(n int) []float64 {
+	buf := make([]float64, n) // want hotpathalloc "make allocates"
+	return buf
+}
+
+//seq:hotpath
+func BadNew() *int {
+	return new(int) // want hotpathalloc "new allocates"
+}
+
+//seq:hotpath
+func BadAppend(dst []int, v int) []int {
+	return append(dst, v) // want hotpathalloc "append may grow its backing array"
+}
+
+//seq:hotpath
+func BadSliceLit() []int {
+	return []int{1, 2, 3} // want hotpathalloc "slice literal allocates"
+}
+
+//seq:hotpath
+func BadMapLit() map[string]int {
+	return map[string]int{"a": 1} // want hotpathalloc "map literal allocates"
+}
+
+//seq:hotpath
+func BadConcat(a, b string) string {
+	return a + b // want hotpathalloc "string concatenation allocates"
+}
+
+//seq:hotpath
+func BadConv(b []byte) string {
+	return string(b) // want hotpathalloc "string conversion allocates"
+}
+
+//seq:hotpath
+func BadFmt(x int) {
+	fmt.Println(x) // want hotpathalloc "fmt call allocates"
+}
+
+//seq:hotpath
+func BadBoxing(x int) any {
+	return box(x) // want hotpathalloc "interface boxing of int value"
+}
+
+// goodPointerShaped passes pointer-shaped values to interface
+// parameters: stored in the interface word directly, no allocation.
+//
+//seq:hotpath
+func goodPointerShaped(p *int) any {
+	return box(p)
+}
+
+func box(v any) any { return v }
+
+//seq:hotpath
+func BadClosure(n int) func() int {
+	return func() int { return n } // want hotpathalloc "closure captures"
+}
+
+//seq:hotpath
+func BadGo(done func()) {
+	go done() // want hotpathalloc "go statement allocates a goroutine"
+}
+
+// Transitive reaches helper.Sum through the module call graph; the
+// allocation is reported at its site in the helper package.
+//
+//seq:hotpath
+func Transitive(xs []float64) float64 {
+	return helper.Sum(xs)
+}
+
+// SuppressedGrow carries the justified suppression at the alloc site.
+//
+//seq:hotpath
+func SuppressedGrow(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		//lint:ignore hotpathalloc fixture: grow-once scratch resize
+		dst = make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// SuppressedTransitive reaches helper.Grow, whose deliberate resize is
+// suppressed in the helper file.
+//
+//seq:hotpath
+func SuppressedTransitive(dst []float64, n int) []float64 {
+	return helper.Grow(dst, n)
+}
+
+// notHot allocates freely: no annotation, not reachable from one.
+func notHot(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,84 @@
+// Package maporder is a seqlint golden-file fixture for maporder.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badReturn(m map[string]int) (string, int) {
+	for k, v := range m { // want maporder "map iteration order reaches a return value"
+		return k, v
+	}
+	return "", 0
+}
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder "map iteration order reaches a slice append"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badWriter(m map[string]int) {
+	for k, v := range m { // want maporder "map iteration order reaches a writer/encoder"
+		fmt.Println(k, v)
+	}
+}
+
+type report struct {
+	lines []string
+}
+
+func badFieldAppend(m map[string]int, r *report) {
+	for k := range m { // want maporder "map iteration order reaches a slice append"
+		r.lines = append(r.lines, k)
+	}
+}
+
+// goodCollectThenSort is the canonical idiom: collect, then order.
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodFold is order-insensitive: addition commutes.
+func goodFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodMapToMap writes into another map: no order leaks.
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// goodUnbound binds no key or value, so order cannot leak.
+func goodUnbound(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//lint:ignore maporder fixture: caller sorts the returned slice
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,19 @@
+// Package statspkg mimics internal/stats for the statsname golden test:
+// Snapshot.Each is the single source of counter names.
+package statspkg
+
+// Snapshot is the fixture's counter record.
+type Snapshot struct {
+	Tuples     int64
+	Offered    int64
+	MemoHits   int64
+	MemoMisses int64
+}
+
+// Each visits every counter with its canonical name.
+func (s Snapshot) Each(f func(name string, v int64)) {
+	f("tuples", s.Tuples)
+	f("offered", s.Offered)
+	f("memo_hits", s.MemoHits)
+	f("memo_misses", s.MemoMisses)
+}

@@ -1,0 +1,63 @@
+// Package user consumes counter names; statsname checks every literal
+// against the statspkg source.
+package user
+
+import "strings"
+
+func goodRecord(w map[string]int64) {
+	w["tuples"]++
+	w["offered"]++
+}
+
+func badRecord(w map[string]int64) {
+	w["offerd"]++ // want statsname "is not published by the stats name source"
+}
+
+func goodBuild(tuples int64) map[string]int64 {
+	return map[string]int64{"tuples": tuples}
+}
+
+func badBuild(offered int64) map[string]int64 {
+	return map[string]int64{
+		"ofered": offered, // want statsname "is not published by the stats name source"
+	}
+}
+
+// goodPrefix matches the memo_hits / memo_misses family.
+func goodPrefix(w map[string]int64) int64 {
+	var t int64
+	for name, v := range w {
+		if strings.HasPrefix(name, "memo_") {
+			continue
+		}
+		t += v
+	}
+	return t
+}
+
+func badPrefix(w map[string]int64) int64 {
+	var t int64
+	for name, v := range w {
+		if strings.HasPrefix(name, "cache_") { // want statsname "matches no counter published by the stats name source"
+			continue
+		}
+		t += v
+	}
+	return t
+}
+
+// goodSentinel: a non-snake-case or letterless prefix is not a counter
+// family check (obs label guards use "__").
+func goodSentinel(name string) bool {
+	return strings.HasPrefix(name, "__")
+}
+
+// goodOtherMap: only the map[string]int64 work-map shape is checked.
+func goodOtherMap(m map[string]string) {
+	m["anything"] = "goes"
+}
+
+func suppressed(w map[string]int64) {
+	//lint:ignore statsname fixture: legacy dashboard counter kept for compatibility
+	w["legacy_counter"]++
+}

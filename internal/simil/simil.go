@@ -67,6 +67,8 @@ type Context struct {
 }
 
 // Dist measures the distance between two locations under the query metric.
+//
+//seq:hotpath
 func (c *Context) Dist(a, b geo.Point) float64 {
 	if c.Metric == nil {
 		return a.Dist(b)
@@ -146,6 +148,8 @@ func (c *Context) PartitionRadius() float64 {
 
 // DistVectorOf writes the masked distance vector of locs (under the query
 // metric) into dst (resized) and returns it.
+//
+//seq:hotpath
 func (c *Context) DistVectorOf(locs []geo.Point, dst []float64) []float64 {
 	if c.Active == nil && c.Metric == nil {
 		return geo.DistVector(locs, dst)
@@ -154,6 +158,7 @@ func (c *Context) DistVectorOf(locs []geo.Point, dst []float64) []float64 {
 	for j := 1; j < len(locs); j++ {
 		for i := 0; i < j; i++ {
 			if c.Active == nil || c.Active[geo.PairIndex(i, j)] {
+				//lint:ignore hotpathalloc appends into the caller's reused dst; capacity is amortised after the first tuple
 				dst = append(dst, c.Dist(locs[i], locs[j]))
 			}
 		}
@@ -166,6 +171,8 @@ func (c *Context) DistVectorOf(locs []geo.Point, dst []float64) []float64 {
 // (no skipped pairs, Euclidean metric) it runs the position-indexed SoA
 // kernel over the dataset's contiguous coordinate slices instead of
 // gathering geo.Points first.
+//
+//seq:hotpath
 func (c *Context) DistVectorOfPositions(tuple []int32, dst []float64) []float64 {
 	if c.Active == nil && c.Metric == nil {
 		xs, ys := c.DS.Coords()
@@ -176,6 +183,7 @@ func (c *Context) DistVectorOfPositions(tuple []int32, dst []float64) []float64 
 		pj := c.DS.Loc(int(tuple[j]))
 		for i := 0; i < j; i++ {
 			if c.Active == nil || c.Active[geo.PairIndex(i, j)] {
+				//lint:ignore hotpathalloc appends into the caller's reused dst; capacity is amortised after the first tuple
 				dst = append(dst, c.Dist(c.DS.Loc(int(tuple[i])), pj))
 			}
 		}
@@ -188,6 +196,8 @@ func (c *Context) DistVectorOfPositions(tuple []int32, dst []float64) []float64 
 // bit-for-bit, but costs only a dot product: both norms are precomputed
 // (dataset build / NewContext). With the memo enabled each (dim, pos)
 // cosine is computed at most once per query.
+//
+//seq:hotpath
 func (c *Context) AttrSim(dim int, pos int32) float64 {
 	if c.memo != nil && c.DS.Category(int(pos)) == c.Ex.Categories[dim] {
 		idx := c.memoOff[dim] + int(c.DS.CategoryRank(int(pos)))
@@ -212,6 +222,8 @@ func (c *Context) AttrSim(dim int, pos int32) float64 {
 
 // attrSimDirect is the uncached kernel: one dot product over the flat
 // attribute row plus the prenormed cosine.
+//
+//seq:hotpath
 func (c *Context) attrSimDirect(dim int, pos int32) float64 {
 	dot := vectormath.Dot(c.Ex.Attrs[dim], c.DS.Attr(int(pos)))
 	return vectormath.CosPrenormed(dot, c.exNorms[dim], c.DS.AttrNorm(int(pos)))
@@ -293,17 +305,23 @@ func (c *Context) MemoCounters() (hits, misses int64) {
 
 // SpatialSim returns SIMs between the example and a tuple given the tuple's
 // distance vector y (prefix-friendly order).
+//
+//seq:hotpath
 func (c *Context) SpatialSim(y []float64) float64 {
 	return vectormath.Cos(c.X, y)
 }
 
 // Combine merges a spatial similarity and a mean attribute similarity into
 // the tuple similarity SIM = alpha*SIMs + (1-alpha)*SIMa.
+//
+//seq:hotpath
 func (c *Context) Combine(sims, sima float64) float64 {
 	return c.Alpha*sims + (1-c.Alpha)*sima
 }
 
 // NormOK reports whether a tuple norm satisfies the beta constraint.
+//
+//seq:hotpath
 func (c *Context) NormOK(norm float64) bool {
 	return geo.NormOK(norm, c.Norm, c.Beta)
 }
@@ -344,6 +362,8 @@ func (c *Context) NewScratch() *Scratch {
 // Push extends the prefix with an object location, appending its distances
 // to all previous prefix points (active pairs only) to Y. It returns the
 // number of distance entries added (for the matching Pop).
+//
+//seq:hotpath
 func (s *Scratch) Push(loc geo.Point, attrSim float64) int {
 	added := 0
 	dim := len(s.Locs)
@@ -355,15 +375,20 @@ func (s *Scratch) Push(loc geo.Point, attrSim float64) int {
 		if s.metric != nil {
 			d = s.metric.Dist(p, loc)
 		}
+		//lint:ignore hotpathalloc appends into NewScratch's PairCount(m)-capacity buffer; never grows
 		s.Y = append(s.Y, d)
 		added++
 	}
+	//lint:ignore hotpathalloc appends into NewScratch's m-capacity buffer; never grows
 	s.Locs = append(s.Locs, loc)
+	//lint:ignore hotpathalloc appends into NewScratch's m-capacity buffer; never grows
 	s.AttrSims = append(s.AttrSims, attrSim)
 	return added
 }
 
 // Pop undoes a Push that added n distance entries.
+//
+//seq:hotpath
 func (s *Scratch) Pop(n int) {
 	s.Y = s.Y[:len(s.Y)-n]
 	s.Locs = s.Locs[:len(s.Locs)-1]
@@ -378,11 +403,15 @@ func (s *Scratch) Reset() {
 }
 
 // PrefixNorm returns the norm of the partial distance vector.
+//
+//seq:hotpath
 func (s *Scratch) PrefixNorm() float64 {
 	return geo.Norm(s.Y)
 }
 
 // AttrSum returns the sum of prefix attribute sims.
+//
+//seq:hotpath
 func (s *Scratch) AttrSum() float64 {
 	var t float64
 	for _, v := range s.AttrSims {
@@ -404,6 +433,8 @@ func (s *Scratch) AttrSum() float64 {
 // coincide has SIMs = Cos(0, 0) = 1 by convention, so 0 is not an upper
 // bound. Return 1 in that case, matching SpatialBoundEq9's convention
 // (correct, merely without pruning power).
+//
+//seq:hotpath
 func (c *Context) SpatialBoundEq5(y []float64) float64 {
 	if c.Norm == 0 {
 		return 1
@@ -431,6 +462,8 @@ func (c *Context) SpatialBoundEq5(y []float64) float64 {
 // example norm; otherwise it returns 1 (vacuous). If the prefix norm
 // already exceeds beta*||V_t*|| no completion can satisfy the constraint
 // and the function returns -Inf so callers prune unconditionally.
+//
+//seq:hotpath
 func (c *Context) SpatialBoundEq9(y []float64) float64 {
 	if math.IsInf(c.Beta, 1) || c.Norm == 0 {
 		return 1
@@ -456,6 +489,8 @@ func (c *Context) SpatialBoundEq9(y []float64) float64 {
 // SpatialBound returns the tighter of Eq. 5 and Eq. 9 for the prefix y, as
 // HSP does ("we select the upper bound as the tighter one"). -Inf signals
 // that the prefix cannot be completed into a beta-feasible tuple.
+//
+//seq:hotpath
 func (c *Context) SpatialBound(y []float64) float64 {
 	b9 := c.SpatialBoundEq9(y)
 	if math.IsInf(b9, -1) {
@@ -471,6 +506,8 @@ func (c *Context) SpatialBound(y []float64) float64 {
 // AttrBoundLoose is DFS-Prune's attribute bound: the prefix contributes its
 // actual sims, every unseen dimension is bounded by 1. attrSum is the sum
 // over the first i dimensions; the result is the bound on the mean.
+//
+//seq:hotpath
 func (c *Context) AttrBoundLoose(attrSum float64, i int) float64 {
 	return (attrSum + float64(c.M-i)) / float64(c.M)
 }
@@ -478,6 +515,8 @@ func (c *Context) AttrBoundLoose(attrSum float64, i int) float64 {
 // AttrBoundRefined is HSP's Eq. 6: unseen dimensions are bounded by the
 // per-subspace maxima rbar[j] instead of 1. rbarSuffix[j] must hold
 // sum_{d>=j} rbar[d] (and rbarSuffix[M] = 0).
+//
+//seq:hotpath
 func (c *Context) AttrBoundRefined(attrSum float64, i int, rbarSuffix []float64) float64 {
 	return (attrSum + rbarSuffix[i]) / float64(c.M)
 }
@@ -485,6 +524,8 @@ func (c *Context) AttrBoundRefined(attrSum float64, i int, rbarSuffix []float64)
 // TupleSim computes the full similarity of a completed tuple given its
 // distance vector y and per-dimension attribute sims. It does not check the
 // norm constraint; callers gate on NormOK first.
+//
+//seq:hotpath
 func (c *Context) TupleSim(y, attrSims []float64) float64 {
 	var asum float64
 	for _, v := range attrSims {

@@ -52,6 +52,8 @@ func (c *Concurrent) K() int { return c.h.K() }
 // a bound equal to the threshold may still cover a tuple that wins the
 // deterministic tie-break, and admitting it is what makes parallel
 // searches return the same tuples as sequential ones.
+//
+//seq:hotpath
 func (c *Concurrent) WouldAccept(sim float64) bool {
 	return sim >= math.Float64frombits(c.thr.Load())
 }
@@ -65,6 +67,8 @@ func (c *Concurrent) Threshold() float64 {
 }
 
 // Offer proposes a tuple under the lock and republishes the threshold.
+//
+//seq:hotpath
 func (c *Concurrent) Offer(tuple []int32, sim float64) bool {
 	c.mu.Lock()
 	inserted := c.h.Offer(tuple, sim)

@@ -52,6 +52,8 @@ func (t *Heap) Full() bool { return len(t.h) >= t.k }
 // -Inf while the heap is not yet full. A candidate with similarity <=
 // Threshold (and losing the tie-break) cannot enter a full heap, which is
 // exactly the R_min pruning test of Algorithms 1 and 4.
+//
+//seq:hotpath
 func (t *Heap) Threshold() float64 {
 	if !t.Full() {
 		return math.Inf(-1)
@@ -61,7 +63,20 @@ func (t *Heap) Threshold() float64 {
 
 // Offer proposes a tuple. It copies the tuple when retaining it, so callers
 // may reuse their buffer. It reports whether the entry was inserted.
+//
+// The common case — a full heap rejecting a candidate strictly below the
+// threshold — allocates nothing: the tuple key is only materialised once
+// the candidate could actually enter.
+//
+//seq:hotpath
 func (t *Heap) Offer(tuple []int32, sim float64) bool {
+	if t.Full() && sim < t.h[0].e.Sim {
+		// Strictly below the threshold can never enter: the tie-break only
+		// decides exact similarity ties, and a duplicate of a held tuple
+		// would be rejected either way. (A NaN sim falls through — every
+		// comparison with NaN is false — and loses in beats as before.)
+		return false
+	}
 	key := tupleKey(tuple)
 	if _, dup := t.keys[key]; dup {
 		return false
@@ -72,6 +87,7 @@ func (t *Heap) Offer(tuple []int32, sim float64) bool {
 			return false
 		}
 		delete(t.keys, worst.key)
+		//lint:ignore hotpathalloc retained-entry copy; runs only when a candidate actually enters the top-k, not per rejected offer
 		tp := make([]int32, len(tuple))
 		copy(tp, tuple)
 		t.h[0] = item{e: Entry{Tuple: tp, Sim: sim}, key: key}
@@ -79,8 +95,10 @@ func (t *Heap) Offer(tuple []int32, sim float64) bool {
 		t.keys[key] = struct{}{}
 		return true
 	}
+	//lint:ignore hotpathalloc retained-entry copy; runs at most k times while the heap fills
 	tp := make([]int32, len(tuple))
 	copy(tp, tuple)
+	//lint:ignore hotpathalloc container/heap boxes the item; fill path runs at most k times
 	heap.Push(&t.h, item{e: Entry{Tuple: tp, Sim: sim}, key: key})
 	t.keys[key] = struct{}{}
 	return true
@@ -99,6 +117,8 @@ func (t *Heap) Offer(tuple []int32, sim float64) bool {
 // or parallel) tuple-for-tuple identical. Offer still rejects candidates
 // that lose the tie-break, so equality here costs at most the descent, not
 // correctness.
+//
+//seq:hotpath
 func (t *Heap) WouldAccept(sim float64) bool {
 	return !t.Full() || sim >= t.h[0].e.Sim
 }
@@ -121,6 +141,8 @@ func (t *Heap) Results() []Entry {
 // beats reports whether candidate (sa, ka) outranks (sb, kb): higher
 // similarity wins; on exact ties the lexicographically smaller tuple key
 // wins, making results independent of enumeration order.
+//
+//seq:hotpath
 func beats(sa float64, ka string, sb float64, kb string) bool {
 	if sa != sb {
 		return sa > sb
@@ -129,10 +151,12 @@ func beats(sa float64, ka string, sb float64, kb string) bool {
 }
 
 func tupleKey(tuple []int32) string {
+	//lint:ignore hotpathalloc key bytes; Offer's fast reject keeps this off the strictly-below-threshold path
 	buf := make([]byte, 4*len(tuple))
 	for i, v := range tuple {
 		binary.BigEndian.PutUint32(buf[4*i:], uint32(v))
 	}
+	//lint:ignore hotpathalloc key string; Offer's fast reject keeps this off the strictly-below-threshold path
 	return string(buf)
 }
 

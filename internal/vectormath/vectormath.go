@@ -18,6 +18,8 @@ import (
 var ErrLengthMismatch = errors.New("vectormath: vector length mismatch")
 
 // Dot returns the inner product of a and b. Panics if lengths differ.
+//
+//seq:hotpath
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		//lint:ignore panicfree hot-path invariant guard; length-checked callers use ErrLengthMismatch entry points
@@ -31,6 +33,8 @@ func Dot(a, b []float64) float64 {
 }
 
 // Norm returns the Euclidean norm of a.
+//
+//seq:hotpath
 func Norm(a []float64) float64 {
 	var s float64
 	for _, x := range a {
@@ -43,6 +47,8 @@ func Norm(a []float64) float64 {
 // A zero vector has undefined direction; by convention Cos returns 0 when
 // either argument has zero norm, and 1 when both do (two empty/zero tuples
 // are maximally similar to each other). Panics if lengths differ.
+//
+//seq:hotpath
 func Cos(a, b []float64) float64 {
 	if len(a) != len(b) {
 		//lint:ignore panicfree hot-path invariant guard; length-checked callers use ErrLengthMismatch entry points
@@ -79,6 +85,8 @@ func Cos(a, b []float64) float64 {
 // dot == Dot(a, b), CosPrenormed(dot, na, nb) == Cos(a, b) bit-for-bit:
 // Cos evaluates the same dot / (sqrt * sqrt) expression over identically
 // ordered accumulations.
+//
+//seq:hotpath
 func CosPrenormed(dot, na, nb float64) float64 {
 	if na == 0 && nb == 0 {
 		return 1

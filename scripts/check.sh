@@ -25,8 +25,14 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== seqlint =="
-go run ./cmd/seqlint ./...
+echo "== seqlint (baseline gate) =="
+# Pre-existing findings recorded in LINT_baseline.json never block; any
+# NEW finding does. A clean tree with an empty baseline is the steady
+# state — regenerate deliberately with `seqlint -write-baseline`.
+go run ./cmd/seqlint -gate LINT_baseline.json ./...
+
+echo "== seqlint -audit (every suppression must carry a reason) =="
+go run ./cmd/seqlint -audit ./... >/dev/null
 
 echo "== go test -race =="
 go test -race ./...
