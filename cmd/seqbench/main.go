@@ -53,6 +53,10 @@ type experiment struct {
 	run  func(ctx context.Context, w io.Writer, cfg eval.Config) error
 }
 
+// needsInput marks experiments that require an input file and are
+// therefore excluded from "-exp all".
+func (e experiment) needsInput() bool { return e.name == "replay" }
+
 func experiments() []experiment {
 	return []experiment{
 		{"table2-yelp", "Table II, Yelp-like scaling", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
@@ -108,6 +112,9 @@ func experiments() []experiment {
 		{"userstudy", "Section IV-C simulated survey", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
 			return userstudy.Simulate(cfg.Seed).Report(w)
 		}},
+		{"replay", "re-run a flight-recorder capture (-capture); work counters must match", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return eval.Replay(ctx, w, cfg)
+		}},
 	}
 }
 
@@ -140,6 +147,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "master seed")
 	m := fs.Int("m", 3, "example tuple size")
 	jsonPath := fs.String("json", "", "write machine-readable BENCH records to this file")
+	capture := fs.String("capture", "", "flight-recorder capture file for -exp replay")
 	cpuProfile := fs.String("cpuprofile", "", "write per-experiment CPU profiles to <prefix>.<exp>")
 	memProfile := fs.String("memprofile", "", "write per-experiment heap profiles to <prefix>.<exp>")
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +172,7 @@ func run(args []string, w io.Writer) error {
 	cfg.Budget = *budget
 	cfg.Seed = *seed
 	cfg.M = *m
+	cfg.Capture = *capture
 
 	var rec *bench.Recorder
 	if *jsonPath != "" {
@@ -224,7 +233,15 @@ func selectExperiments(exps []experiment, names string) ([]experiment, error) {
 			continue
 		}
 		if name == "all" {
-			return exps, nil
+			// "all" means the self-contained suite; experiments that need
+			// an input file (replay) must be selected explicitly.
+			var out []experiment
+			for _, e := range exps {
+				if !e.needsInput() {
+					out = append(out, e)
+				}
+			}
+			return out, nil
 		}
 		found := false
 		for _, e := range exps {

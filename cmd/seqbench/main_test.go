@@ -125,8 +125,25 @@ func TestSelectExperiments(t *testing.T) {
 		}
 		t.Errorf("selectExperiments = %v, want [table3 table2-gaode] (order kept, dup dropped)", names)
 	}
-	if all, err := selectExperiments(exps, "table3,all"); err != nil || len(all) != len(exps) {
-		t.Errorf("'all' should select everything: %d, %v", len(all), err)
+	// "all" selects the whole self-contained suite; experiments needing
+	// an input file (replay) stay out.
+	wantAll := 0
+	for _, e := range exps {
+		if !e.needsInput() {
+			wantAll++
+		}
+	}
+	if wantAll == len(exps) {
+		t.Fatal("expected at least one input-requiring experiment (replay)")
+	}
+	all, err := selectExperiments(exps, "table3,all")
+	if err != nil || len(all) != wantAll {
+		t.Errorf("'all' should select the self-contained suite: %d, want %d (%v)", len(all), wantAll, err)
+	}
+	for _, e := range all {
+		if e.needsInput() {
+			t.Errorf("'all' selected input-requiring experiment %s", e.name)
+		}
 	}
 	if _, err := selectExperiments(exps, "table3,zzz"); err == nil {
 		t.Error("unknown id in a list should fail")

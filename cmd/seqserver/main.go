@@ -8,7 +8,15 @@
 //	seqserver -synth gaode -addr 127.0.0.1:0 -pprof -log-level debug
 //
 // Endpoints: GET /healthz, /stats, /categories, /metrics, POST /search,
-// /snap, and (with -pprof) GET /debug/pprof/* (see internal/server).
+// /snap, GET /debug/queries (+ /debug/queries/capture), and (with
+// -pprof) GET /debug/pprof/* (see internal/server).
+//
+// The query flight recorder is always on: every completed query leaves a
+// record in a bounded ring, the slowest per window are tail-sampled, and
+// queries over the adaptive p99 threshold (or the -flight-threshold
+// floor) emit a structured slow-query log line. /debug/queries/capture
+// exports retained slow queries for `seqbench -exp replay`. Tune with
+// -flight-buffer, -flight-window, -flight-keep and -flight-threshold.
 //
 // Logs are structured JSON on stderr, one object per line; the
 // "listening" record carries the bound address (useful with ":0").
@@ -27,6 +35,7 @@ import (
 	"spatialseq/internal/core"
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/obs"
+	"spatialseq/internal/obs/flight"
 	"spatialseq/internal/server"
 	"spatialseq/internal/synth"
 )
@@ -49,6 +58,11 @@ type config struct {
 	cacheSize   int
 	logLevel    string
 	pprof       bool
+
+	flightBuffer    int
+	flightWindow    time.Duration
+	flightKeep      int
+	flightThreshold time.Duration
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -63,6 +77,10 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.cacheSize, "cache", 0, "query cache capacity in entries (0 = default)")
 	fs.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose /debug/pprof/ profiling endpoints")
+	fs.IntVar(&cfg.flightBuffer, "flight-buffer", 0, "flight recorder ring size (0 = default 256, negative disables the ring)")
+	fs.DurationVar(&cfg.flightWindow, "flight-window", 0, "flight recorder tail-sampling window (0 = default 1m)")
+	fs.IntVar(&cfg.flightKeep, "flight-keep", 0, "slowest queries retained per window (0 = default 16, negative disables)")
+	fs.DurationVar(&cfg.flightThreshold, "flight-threshold", 0, "slow-query threshold floor (0 = adaptive p99 only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -100,6 +118,16 @@ func loadDataset(cfg *config) (*dataset.Dataset, error) {
 	}
 }
 
+// datasetInfo derives the provenance stamped into flight-recorder
+// capture exports from the dataset flags, so `seqbench -exp replay` can
+// rebuild the exact corpus the captured queries ran against.
+func datasetInfo(cfg *config) flight.DatasetInfo {
+	if cfg.dataPath != "" {
+		return flight.DatasetInfo{Kind: "file", Path: cfg.dataPath}
+	}
+	return flight.DatasetInfo{Kind: "synth", Family: cfg.synthFamily, N: cfg.n, Seed: cfg.seed}
+}
+
 func run(args []string) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
@@ -116,11 +144,20 @@ func run(args []string) error {
 	}
 	logger.Info("indexing", "objects", ds.Len(), "categories", ds.NumCategories())
 	eng := core.NewEngine(ds)
+	rec := flight.New(flight.Config{
+		RingSize:    cfg.flightBuffer,
+		Window:      cfg.flightWindow,
+		KeepSlowest: cfg.flightKeep,
+		Floor:       cfg.flightThreshold,
+		Logger:      logger,
+		Dataset:     datasetInfo(cfg),
+	})
 	srv := server.NewWith(eng, server.Config{
 		Timeout:     cfg.timeout,
 		CacheSize:   cfg.cacheSize,
 		Logger:      logger,
 		EnablePprof: cfg.pprof,
+		Flight:      rec,
 	})
 	// Listen before serving so the actual bound address (":0" resolves
 	// to an ephemeral port) can be logged for scripts to pick up.

@@ -10,6 +10,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
+	"sync/atomic"
 	"time"
 
 	"spatialseq/internal/algo/brute"
@@ -19,6 +21,7 @@ import (
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/geo"
 	"spatialseq/internal/obs"
+	"spatialseq/internal/obs/flight"
 	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/stats"
@@ -122,6 +125,12 @@ type Result struct {
 type Engine struct {
 	ds  *dataset.Dataset
 	pix *partition.Index
+	// flight, when set, receives one flight.Record per Search call —
+	// the always-on per-query forensics channel. Atomic so a recorder
+	// can be attached after searches have started (the server wires it
+	// at construction; embedded users may never set it and pay one nil
+	// load per search).
+	flight atomic.Pointer[flight.Recorder]
 }
 
 // NewEngine builds the engine and its shared spatial index.
@@ -140,9 +149,99 @@ func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
 // that want to isolate index construction from query time).
 func (e *Engine) PartitionIndex() *partition.Index { return e.pix }
 
+// SetFlightRecorder attaches the flight recorder every subsequent
+// Search emits its per-query record into (nil detaches). Safe to call
+// concurrently with searches.
+func (e *Engine) SetFlightRecorder(r *flight.Recorder) { e.flight.Store(r) }
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (e *Engine) FlightRecorder() *flight.Recorder { return e.flight.Load() }
+
 // Search answers q with the requested algorithm. It validates (and
-// normalizes) q first. The context cancels long runs.
+// normalizes) q first. The context cancels long runs. When a flight
+// recorder is attached, every call emits one flight.Record — outcome,
+// latency, phase timings and work counters included — and slow queries
+// are logged through the recorder.
 func (e *Engine) Search(ctx context.Context, q *query.Query, algo Algorithm, opt Options) (*Result, error) {
+	fr := e.flight.Load()
+	if fr == nil {
+		return e.search(ctx, q, algo, opt)
+	}
+	start := time.Now()
+	res, err := e.search(ctx, q, algo, opt)
+	rec := flight.Record{
+		RequestID: obs.RequestID(ctx),
+		ShardID:   flight.NoShard,
+		Start:     start.UnixNano(),
+		Variant:   q.Variant.String(),
+		M:         int32(q.Example.M()),
+		Dims:      int32(e.ds.AttrDim()),
+		Pins:      int32(len(q.Example.Fixed)),
+		K:         int32(q.Params.K),
+		Phases:    opt.Trace.Snapshot(),
+	}
+	if err == nil {
+		rec.LatencyNS = int64(res.Elapsed)
+		rec.Algorithm = res.Algorithm.String()
+		rec.Outcome = flight.OutcomeOK
+		rec.Work = res.Stats
+		if fr.WouldRetain(res.Elapsed) {
+			rec.Capture = CaptureQuery(e.ds, q, res.Algorithm)
+		}
+	} else {
+		rec.LatencyNS = int64(time.Since(start))
+		rec.Algorithm = algo.String()
+		if ctx.Err() != nil {
+			rec.Outcome = flight.OutcomeTimeout
+		} else {
+			rec.Outcome = flight.OutcomeError
+		}
+	}
+	fr.ObserveAndLog(&rec)
+	return res, err
+}
+
+// CaptureQuery encodes a validated query as a replayable flight capture:
+// categories by name, pinned objects by dataset ID, parameters as
+// normalized — everything `seqbench -exp replay` needs to reconstruct
+// and rerun it against a dataset rebuilt from the same provenance.
+// Queries with a custom distance metric are not capturable (a metric has
+// no canonical encoding) and yield nil.
+func CaptureQuery(ds *dataset.Dataset, q *query.Query, algo Algorithm) *flight.Capture {
+	if q.Example.Metric != nil {
+		return nil
+	}
+	c := &flight.Capture{
+		Variant:   q.Variant.String(),
+		Algorithm: algo.String(),
+		K:         q.Params.K,
+		Alpha:     q.Params.Alpha,
+		Beta:      q.Params.Beta,
+		GridD:     q.Params.GridD,
+		Xi:        q.Params.Xi,
+		Dims:      make([]flight.CapturedDim, q.Example.M()),
+	}
+	if len(q.Example.SkipPairs) > 0 {
+		c.SkipPairs = slices.Clone(q.Example.SkipPairs)
+	}
+	for d := 0; d < q.Example.M(); d++ {
+		dim := flight.CapturedDim{
+			X:        q.Example.Locations[d].X,
+			Y:        q.Example.Locations[d].Y,
+			Category: ds.CategoryName(q.Example.Categories[d]),
+			Attrs:    slices.Clone(q.Example.Attrs[d]),
+		}
+		if obj := q.Example.FixedDim(d); obj >= 0 {
+			id := ds.Object(int(obj)).ID
+			dim.FixedID = &id
+		}
+		c.Dims[d] = dim
+	}
+	return c
+}
+
+// search is the emission-free engine body Search wraps.
+func (e *Engine) search(ctx context.Context, q *query.Query, algo Algorithm, opt Options) (*Result, error) {
 	// Start the clock before validation so every traced phase falls
 	// inside the Elapsed window (phase sum <= Elapsed on the
 	// sequential path).

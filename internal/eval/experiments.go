@@ -61,6 +61,9 @@ type Config struct {
 	// (experiment, family, label, size, algorithm) measurement in
 	// addition to the printed tables (`seqbench -json`).
 	Rec *bench.Recorder
+	// Capture is the flight-recorder capture file the replay experiment
+	// re-runs (`seqbench -exp replay -capture <file>`).
+	Capture string
 }
 
 // DefaultConfig returns laptop-scale settings that preserve the paper's

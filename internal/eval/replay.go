@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"text/tabwriter"
+	"time"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
+	"spatialseq/internal/obs/flight"
+	"spatialseq/internal/query"
+	"spatialseq/internal/stats"
+	"spatialseq/internal/synth"
+)
+
+// Replay loads the capture file named by cfg.Capture, rebuilds its
+// dataset from the recorded provenance, re-runs every record that
+// carries a capture payload, and prints one row per query comparing
+// recorded and replayed latency and work. It fails if the capture holds
+// no replayable record or if any replayed query's work counters diverge
+// from the recorded snapshot.
+func Replay(ctx context.Context, w io.Writer, cfg Config) error {
+	if cfg.Capture == "" {
+		return errors.New("eval: replay needs a capture file (seqbench -capture)")
+	}
+	cf, err := flight.ReadCaptureFile(cfg.Capture)
+	if err != nil {
+		return err
+	}
+	ds, err := captureDataset(cf.Dataset)
+	if err != nil {
+		return err
+	}
+	eng := core.NewEngine(ds)
+	idx := make(map[int64]int32, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		idx[ds.Object(i).ID] = int32(i)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	rp := &report{}
+	rp.printf(w, "Replay of %s (%s)\n", cfg.Capture, describeDataset(cf.Dataset))
+	rp.println(tw, "seq\trequest\talgorithm\tvariant\trecorded\treplayed\twork")
+	replayed, mismatched := 0, 0
+	for i, rec := range cf.Records {
+		if rec.Capture == nil {
+			continue
+		}
+		q, algo, err := rebuildQuery(ds, idx, rec.Capture)
+		if err != nil {
+			return fmt.Errorf("eval: record %d (seq %d): %w", i, rec.Seq, err)
+		}
+		res, err := eng.Search(ctx, q, algo, core.Options{CollectStats: true})
+		if err != nil {
+			return fmt.Errorf("eval: record %d (seq %d): replay failed: %w", i, rec.Seq, err)
+		}
+		replayed++
+		verdict := "match"
+		if res.Stats != rec.Work {
+			mismatched++
+			verdict = "MISMATCH: " + diffSnapshots(rec.Work, res.Stats)
+		}
+		rp.printf(tw, "%d\t%s\t%s\t%s\t%.3fms\t%.3fms\t%s\n",
+			rec.Seq, rec.RequestID, algo, q.Variant,
+			rec.LatencyMS(), float64(res.Elapsed)/float64(time.Millisecond), verdict)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if err := rp.flush(tw); err != nil {
+		return err
+	}
+	if replayed == 0 {
+		return errors.New("eval: capture contains no replayable records (no slow query carried a capture payload)")
+	}
+	if _, err := fmt.Fprintf(w, "replayed %d queries, %d work-counter mismatches\n", replayed, mismatched); err != nil {
+		return err
+	}
+	if mismatched > 0 {
+		return fmt.Errorf("eval: %d of %d replayed queries diverged from the recorded work counters", mismatched, replayed)
+	}
+	return nil
+}
+
+// captureDataset rebuilds the dataset a capture was recorded against:
+// synthetic corpora are regenerated from (family, n, seed), file-backed
+// corpora are reloaded from the recorded path.
+func captureDataset(info flight.DatasetInfo) (*dataset.Dataset, error) {
+	switch info.Kind {
+	case "synth":
+		switch info.Family {
+		case "yelp":
+			return synth.Generate(synth.YelpLike(info.N, info.Seed))
+		case "gaode":
+			return synth.Generate(synth.GaodeLike(info.N, info.Seed))
+		default:
+			return nil, fmt.Errorf("eval: unknown synthetic family %q in capture", info.Family)
+		}
+	case "file":
+		return dataset.ReadAnyFile(info.Path)
+	default:
+		return nil, fmt.Errorf("eval: unknown dataset kind %q in capture", info.Kind)
+	}
+}
+
+func describeDataset(info flight.DatasetInfo) string {
+	if info.Kind == "synth" {
+		return fmt.Sprintf("synth %s n=%d seed=%d", info.Family, info.N, info.Seed)
+	}
+	return "file " + info.Path
+}
+
+// rebuildQuery turns a capture payload back into a runnable query:
+// category names resolve to IDs, pinned object IDs to positions, and the
+// recorded (post-Auto) algorithm is requested verbatim so the replay
+// follows the same code path as the original execution.
+func rebuildQuery(ds *dataset.Dataset, idx map[int64]int32, c *flight.Capture) (*query.Query, core.Algorithm, error) {
+	variant, err := query.ParseVariant(c.Variant)
+	if err != nil {
+		return nil, 0, err
+	}
+	algo, err := core.ParseAlgorithm(c.Algorithm)
+	if err != nil {
+		return nil, 0, err
+	}
+	q := &query.Query{
+		Variant: variant,
+		Params:  query.Params{K: c.K, Alpha: c.Alpha, Beta: c.Beta, GridD: c.GridD, Xi: c.Xi},
+	}
+	for dim, cd := range c.Dims {
+		cat, ok := ds.CategoryByName(cd.Category)
+		if !ok {
+			return nil, 0, fmt.Errorf("category %q not in dataset", cd.Category)
+		}
+		q.Example.Categories = append(q.Example.Categories, cat)
+		q.Example.Locations = append(q.Example.Locations, geo.Point{X: cd.X, Y: cd.Y})
+		q.Example.Attrs = append(q.Example.Attrs, slices.Clone(cd.Attrs))
+		if cd.FixedID != nil {
+			pos, ok := idx[*cd.FixedID]
+			if !ok {
+				return nil, 0, fmt.Errorf("pinned object id %d not in dataset", *cd.FixedID)
+			}
+			q.Example.Fixed = append(q.Example.Fixed, query.FixedPoint{Dim: dim, Obj: pos})
+		}
+	}
+	if len(c.SkipPairs) > 0 {
+		q.Example.SkipPairs = slices.Clone(c.SkipPairs)
+	}
+	return q, algo, nil
+}
+
+// diffSnapshots names the counters that differ between the recorded and
+// the replayed work, recorded->replayed.
+func diffSnapshots(want, got stats.Snapshot) string {
+	wantVals := make(map[string]int64)
+	want.Each(func(name string, v int64) { wantVals[name] = v })
+	out := ""
+	got.Each(func(name string, v int64) {
+		if wv := wantVals[name]; wv != v {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s %d->%d", name, wv, v)
+		}
+	})
+	if out == "" {
+		return "(fields differ outside named counters)"
+	}
+	return out
+}

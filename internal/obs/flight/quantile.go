@@ -1,0 +1,142 @@
+package flight
+
+// quantile is the P² streaming quantile estimator of Jain & Chlamtac
+// (CACM 1985): five markers tracking the p-quantile of a stream in O(1)
+// time and O(1) space per observation, with no allocation after
+// construction — exactly the budget an always-on per-query threshold can
+// afford. The estimate converges to the true quantile as the stream
+// grows; the recorder additionally gates the threshold on a warm-up
+// sample count before trusting it.
+//
+// The implementation keeps the five marker invariants of the paper:
+// heights q[0..4] ascending, positions pos[0..4] strictly increasing
+// integers stored as float64, desired positions want[0..4] advanced by
+// dwant per observation.
+//
+// Not safe for concurrent use; the recorder serializes access under its
+// mutex.
+type quantile struct {
+	p     float64
+	n     int
+	q     [5]float64
+	pos   [5]float64
+	want  [5]float64
+	dwant [5]float64
+	// init holds the first five observations, kept sorted so the cold
+	// estimate is an allocation-free nearest-rank lookup.
+	init [5]float64
+}
+
+// newQuantile returns an estimator for the p-quantile (0 < p < 1).
+func newQuantile(p float64) quantile {
+	return quantile{
+		p:     p,
+		dwant: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// add feeds one observation.
+//
+//seq:hotpath
+func (e *quantile) add(x float64) {
+	if e.n < 5 {
+		// Insertion sort into the seed buffer.
+		i := e.n
+		for i > 0 && e.init[i-1] > x {
+			e.init[i] = e.init[i-1]
+			i--
+		}
+		e.init[i] = x
+		e.n++
+		if e.n == 5 {
+			e.q = e.init
+			e.pos = [5]float64{1, 2, 3, 4, 5}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+	e.n++
+
+	// Locate the cell k with q[k] <= x < q[k+1], widening the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.dwant[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions,
+	// preferring the parabolic (P²) height update and falling back to
+	// linear interpolation when the parabola would break monotonicity.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qp := e.parabolic(i, s)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the piecewise-parabolic height prediction for marker i
+// moved by d (±1).
+func (e *quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height prediction for marker i moved by d (±1).
+func (e *quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// estimate returns the current quantile estimate and whether any
+// observations were seen. Below five observations it falls back to a
+// nearest-rank lookup over the sorted seed buffer.
+//
+//seq:hotpath
+func (e *quantile) estimate() (float64, bool) {
+	if e.n == 0 {
+		return 0, false
+	}
+	if e.n < 5 {
+		// Nearest-rank on the sorted seed: rank ceil(p*n), 1-based.
+		rank := int(e.p*float64(e.n) + 0.9999999)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > e.n {
+			rank = e.n
+		}
+		return e.init[rank-1], true
+	}
+	return e.q[2], true
+}
+
+// samples returns the number of observations fed so far.
+func (e *quantile) samples() int { return e.n }

@@ -1,0 +1,372 @@
+package flight
+
+import (
+	"context"
+	"log/slog"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Recorder. The zero value gives the defaults of New.
+type Config struct {
+	// RingSize is the recent-record buffer capacity (default 256;
+	// negative disables the ring).
+	RingSize int
+	// Window is the tail-sampling rotation period (default 1m): the
+	// recorder always retains the KeepSlowest slowest queries of the
+	// current and the previous window, however fast they were.
+	Window time.Duration
+	// KeepSlowest is the per-window retention count N (default 16;
+	// negative disables tail sampling).
+	KeepSlowest int
+	// Floor is the fixed slow-query threshold floor. A query is slow
+	// when its latency reaches max(Floor, adaptive p99); with Floor 0
+	// only the adaptive threshold applies, and nothing is slow until
+	// the tracker has Warmup samples.
+	Floor time.Duration
+	// Warmup is the number of observations the p99 tracker needs before
+	// the adaptive threshold engages (default 64).
+	Warmup int
+	// Logger receives one structured slow-query line per threshold
+	// crossing (via ObserveAndLog). Nil disables slow-query logging.
+	Logger *slog.Logger
+	// Dataset is the provenance stamped into capture exports.
+	Dataset DatasetInfo
+}
+
+// Recorder is the always-on flight recorder. All methods are safe for
+// concurrent use; Observe is allocation-free.
+type Recorder struct {
+	ringSize    int
+	window      int64 // ns
+	keepSlowest int
+	floor       int64 // ns
+	warmup      int
+	logger      *slog.Logger
+	dataset     DatasetInfo
+
+	ring ring
+
+	// mu guards the quantile tracker and the tail-sampling windows. The
+	// critical section is pure arithmetic plus at most one bounded heap
+	// sift — no allocation, no I/O.
+	mu        sync.Mutex
+	q         quantile
+	cur, prev windowHeap
+	windowEnd int64 // Unix ns at which the current window rotates
+
+	observed atomic.Uint64
+	slow     atomic.Uint64
+}
+
+// New builds a Recorder from cfg, applying defaults for zero fields.
+func New(cfg Config) *Recorder {
+	if cfg.RingSize == 0 {
+		cfg.RingSize = 256
+	}
+	if cfg.RingSize < 0 {
+		cfg.RingSize = 0
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
+	if cfg.KeepSlowest == 0 {
+		cfg.KeepSlowest = 16
+	}
+	if cfg.KeepSlowest < 0 {
+		cfg.KeepSlowest = 0
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 64
+	}
+	return &Recorder{
+		ringSize:    cfg.RingSize,
+		window:      int64(cfg.Window),
+		keepSlowest: cfg.KeepSlowest,
+		floor:       int64(cfg.Floor),
+		warmup:      cfg.Warmup,
+		logger:      cfg.Logger,
+		dataset:     cfg.Dataset,
+		ring:        newRing(cfg.RingSize),
+		q:           newQuantile(0.99),
+		cur:         newWindowHeap(cfg.KeepSlowest),
+		prev:        newWindowHeap(cfg.KeepSlowest),
+	}
+}
+
+// Dataset returns the provenance the recorder stamps into captures.
+func (r *Recorder) Dataset() DatasetInfo { return r.dataset }
+
+// Observe records one completed query and reports whether it crossed the
+// slow-query threshold. The record is copied; the caller keeps ownership
+// of rec. Observe never allocates — the always-on contract that lets it
+// sit on the cache-hit fast path.
+//
+//seq:hotpath
+func (r *Recorder) Observe(rec *Record) bool {
+	r.ring.put(rec)
+	lat := rec.LatencyNS
+	r.mu.Lock()
+	r.rotate(rec.End())
+	r.q.add(float64(lat))
+	slow := lat >= r.thresholdLocked()
+	r.cur.offer(rec)
+	r.mu.Unlock()
+	r.observed.Add(1)
+	if slow {
+		r.slow.Add(1)
+	}
+	return slow
+}
+
+// ObserveAndLog is Observe plus one structured slow-query log line (with
+// the phase breakdown) when the record crosses the threshold. The
+// logging branch allocates; the fast path does not.
+func (r *Recorder) ObserveAndLog(rec *Record) bool {
+	slow := r.Observe(rec)
+	if slow && r.logger != nil {
+		r.logSlow(rec)
+	}
+	return slow
+}
+
+// logSlow emits the slow-query line. Phase timings are flattened into
+// one attr group so the line stays a single JSON object.
+func (r *Recorder) logSlow(rec *Record) {
+	attrs := make([]slog.Attr, 0, 12+len(rec.Phases))
+	attrs = append(attrs,
+		slog.String("id", rec.RequestID),
+		slog.Uint64("seq", rec.Seq),
+		slog.Float64("latency_ms", rec.LatencyMS()),
+		slog.Float64("threshold_ms", float64(r.thresholdNS())/1e6),
+		slog.String("algorithm", rec.Algorithm),
+		slog.String("variant", rec.Variant),
+		slog.Int("m", int(rec.M)),
+		slog.Int("dims", int(rec.Dims)),
+		slog.Int("pins", int(rec.Pins)),
+		slog.Int("k", int(rec.K)),
+		slog.Bool("cache_hit", rec.CacheHit),
+		slog.String("outcome", rec.Outcome),
+	)
+	phases := make([]any, 0, len(rec.Phases))
+	for _, p := range rec.Phases {
+		phases = append(phases, slog.Float64(p.Name, p.DurationMS))
+	}
+	attrs = append(attrs, slog.Group("phases", phases...))
+	r.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
+}
+
+// rotate advances the tail-sampling windows to cover the instant end
+// (Unix ns). Called with mu held.
+//
+//seq:hotpath
+func (r *Recorder) rotate(end int64) {
+	if end < r.windowEnd {
+		return
+	}
+	if r.windowEnd != 0 && end-r.windowEnd < r.window {
+		// Normal rotation: the finished window becomes "previous".
+		r.cur, r.prev = r.prev, r.cur
+		r.cur.reset()
+	} else {
+		// First observation, or an idle gap longer than a full window:
+		// both retained windows are stale.
+		r.cur.reset()
+		r.prev.reset()
+	}
+	r.windowEnd = end + r.window
+}
+
+// thresholdLocked returns the effective slow threshold in nanoseconds
+// (MaxInt64 while the adaptive tracker is cold and no floor is set).
+// Called with mu held.
+//
+//seq:hotpath
+func (r *Recorder) thresholdLocked() int64 {
+	if r.q.samples() < r.warmup {
+		if r.floor > 0 {
+			return r.floor
+		}
+		return math.MaxInt64
+	}
+	est, ok := r.q.estimate()
+	if !ok {
+		if r.floor > 0 {
+			return r.floor
+		}
+		return math.MaxInt64
+	}
+	thr := int64(est)
+	if thr < r.floor {
+		thr = r.floor
+	}
+	return thr
+}
+
+func (r *Recorder) thresholdNS() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.thresholdLocked()
+}
+
+// Threshold returns the effective slow-query threshold, and false while
+// no threshold is engaged (adaptive tracker cold, no floor configured).
+func (r *Recorder) Threshold() (time.Duration, bool) {
+	ns := r.thresholdNS()
+	if ns == math.MaxInt64 {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
+// P99 returns the streaming p99 latency estimate, and false before any
+// observation.
+func (r *Recorder) P99() (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	est, ok := r.q.estimate()
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(est), true
+}
+
+// Observed returns the total number of records observed.
+func (r *Recorder) Observed() uint64 { return r.observed.Load() }
+
+// SlowCount returns how many records crossed the slow threshold.
+func (r *Recorder) SlowCount() uint64 { return r.slow.Load() }
+
+// WouldRetain reports whether a query with this latency would currently
+// be kept by the recorder beyond the ring — because it crosses the slow
+// threshold or would enter the current window's slowest-N heap. Callers
+// use it to decide whether building the (allocating) Capture payload is
+// worth it before emitting; a race against a concurrent Observe can only
+// cost one capture, never a lost record.
+func (r *Recorder) WouldRetain(latency time.Duration) bool {
+	lat := int64(latency)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if lat >= r.thresholdLocked() {
+		return true
+	}
+	return r.cur.wouldAccept(lat)
+}
+
+// Recent returns up to max records from the ring buffer, newest first.
+func (r *Recorder) Recent(max int) []Record {
+	return r.ring.recent(max)
+}
+
+// Slowest returns the tail-sampled records — the slowest KeepSlowest of
+// the current and previous windows — slowest first.
+func (r *Recorder) Slowest() []Record {
+	r.mu.Lock()
+	out := make([]Record, 0, len(r.cur.items)+len(r.prev.items))
+	out = append(out, r.cur.items...)
+	out = append(out, r.prev.items...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LatencyNS != out[j].LatencyNS {
+			return out[i].LatencyNS > out[j].LatencyNS
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// CaptureFile exports the retained slow queries that carry a replayable
+// capture, stamped with the recorder's dataset provenance.
+func (r *Recorder) CaptureFile() CaptureFile {
+	slowest := r.Slowest()
+	records := make([]Record, 0, len(slowest))
+	for _, rec := range slowest {
+		if rec.Capture != nil {
+			records = append(records, rec)
+		}
+	}
+	return CaptureFile{
+		Schema:  CaptureSchemaVersion,
+		Dataset: r.dataset,
+		Records: records,
+	}
+}
+
+// windowHeap retains the N largest-latency records of one window as a
+// min-heap over a fixed backing array: offering is O(log N) with zero
+// allocation, and a record below the full heap's minimum is rejected
+// with one comparison.
+type windowHeap struct {
+	items []Record // min-heap by LatencyNS; len <= cap == N
+}
+
+func newWindowHeap(n int) windowHeap {
+	return windowHeap{items: make([]Record, 0, n)}
+}
+
+func (h *windowHeap) reset() { h.items = h.items[:0] }
+
+// wouldAccept reports whether a record with this latency would enter.
+//
+//seq:hotpath
+func (h *windowHeap) wouldAccept(lat int64) bool {
+	if cap(h.items) == 0 {
+		return false
+	}
+	return len(h.items) < cap(h.items) || lat > h.items[0].LatencyNS
+}
+
+// offer inserts rec if it belongs among the window's slowest.
+//
+//seq:hotpath
+func (h *windowHeap) offer(rec *Record) {
+	if cap(h.items) == 0 {
+		return
+	}
+	if n := len(h.items); n < cap(h.items) {
+		h.items = h.items[:n+1]
+		h.items[n] = *rec
+		h.up(n)
+		return
+	}
+	if rec.LatencyNS <= h.items[0].LatencyNS {
+		return
+	}
+	h.items[0] = *rec
+	h.down(0)
+}
+
+//seq:hotpath
+func (h *windowHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].LatencyNS <= h.items[i].LatencyNS {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+//seq:hotpath
+func (h *windowHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].LatencyNS < h.items[small].LatencyNS {
+			small = l
+		}
+		if r < n && h.items[r].LatencyNS < h.items[small].LatencyNS {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+}

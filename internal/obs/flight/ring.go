@@ -1,0 +1,68 @@
+package flight
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ring is the fixed-size record buffer holding the most recent emissions.
+// Writers claim a slot with one atomic increment and copy the record in
+// under that slot's own mutex, so concurrent emissions only contend when
+// they land on the same slot (i.e. the buffer has wrapped a full lap in
+// the meantime) and a reader only ever blocks one writer for the
+// duration of a struct copy — the "lock-cheap" discipline the always-on
+// hot path requires.
+type ring struct {
+	seq   atomic.Uint64
+	slots []ringSlot
+}
+
+type ringSlot struct {
+	mu  sync.Mutex
+	ok  bool
+	rec Record
+}
+
+func newRing(size int) ring {
+	return ring{slots: make([]ringSlot, size)}
+}
+
+// put assigns rec the next sequence number and stores it in its slot.
+//
+//seq:hotpath
+func (r *ring) put(rec *Record) {
+	seq := r.seq.Add(1)
+	rec.Seq = seq
+	if len(r.slots) == 0 {
+		return
+	}
+	s := &r.slots[int((seq-1)%uint64(len(r.slots)))]
+	s.mu.Lock()
+	s.rec = *rec
+	s.ok = true
+	s.mu.Unlock()
+}
+
+// recent copies out up to max retained records, newest first.
+func (r *ring) recent(max int) []Record {
+	if max <= 0 || len(r.slots) == 0 {
+		return nil
+	}
+	out := make([]Record, 0, min(max, len(r.slots)))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		if s.ok {
+			out = append(out, s.rec)
+		}
+		s.mu.Unlock()
+	}
+	// Newest first. Slots are visited in index order, not emission
+	// order, so sort by the global sequence number.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

@@ -46,6 +46,31 @@ func NewRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// MaxRequestIDLen bounds client-supplied X-Request-ID values; anything
+// longer is replaced with a minted ID rather than propagated into logs
+// and flight records.
+const MaxRequestIDLen = 64
+
+// ValidRequestID reports whether a client-supplied request ID is safe to
+// propagate: 1 to MaxRequestIDLen characters drawn from [A-Za-z0-9._-].
+// The charset keeps IDs log-greppable and excludes anything that could
+// break JSON log lines, header echoes, or HTML debug pages.
+func ValidRequestID(s string) bool {
+	if len(s) == 0 || len(s) > MaxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // ctxKey keys the request ID in a context.
 type ctxKey struct{}
 

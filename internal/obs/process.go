@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart approximates process start (package initialization) for
+// the uptime gauge.
+var processStart = time.Now()
+
+// BuildRevision returns the VCS revision baked into the binary by the go
+// toolchain, with a "+dirty" suffix for a modified working tree, or
+// "unknown" when the binary was built without VCS stamping (go test,
+// plain `go build` outside a repository).
+func BuildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// RegisterProcessMetrics registers the process-health gauges every
+// serving binary should expose:
+//
+//	spatialseq_build_info{revision=...} 1   — which build is running
+//	spatialseq_uptime_seconds               — seconds since process start
+//	spatialseq_goroutines                   — live goroutine count
+//
+// Registering twice on the same registry is safe (the families are
+// reused); the uptime clock is process-wide, not per-call.
+func RegisterProcessMetrics(r *Registry) {
+	r.Gauge("spatialseq_build_info",
+		"Build metadata; the value is always 1, the revision label carries the git SHA.",
+		"revision").With(BuildRevision()).Set(1)
+	r.GaugeFunc("spatialseq_uptime_seconds",
+		"Seconds since process start.",
+		func() float64 { return time.Since(processStart).Seconds() })
+	r.GaugeFunc("spatialseq_goroutines",
+		"Current number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidRequestID(t *testing.T) {
+	valid := []string{"a", "abc123", "trace-id_1.2", strings.Repeat("x", 64), "UPPER-lower-09"}
+	for _, id := range valid {
+		if !ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{"", strings.Repeat("x", 65), "has space", "semi;colon",
+		"new\nline", "quote\"", "slash/", "unicode-é", "{brace}"}
+	for _, id := range invalid {
+		if ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestBuildRevision(t *testing.T) {
+	if BuildRevision() == "" {
+		t.Error("BuildRevision returned an empty string (want a SHA or \"unknown\")")
+	}
+}
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	RegisterProcessMetrics(r) // must be re-entrant
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"spatialseq_build_info{revision=",
+		"spatialseq_uptime_seconds ",
+		"spatialseq_goroutines ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

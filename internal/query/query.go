@@ -40,6 +40,21 @@ func (v Variant) String() string {
 	}
 }
 
+// ParseVariant converts a variant name (as produced by Variant.String and
+// stored in flight captures) back to a Variant.
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "CSEQ", "cseq":
+		return CSEQ, nil
+	case "SEQ", "seq":
+		return SEQ, nil
+	case "CSEQ-FP", "cseq-fp":
+		return CSEQFP, nil
+	default:
+		return CSEQ, fmt.Errorf("query: unknown variant %q", s)
+	}
+}
+
 // Metric measures the distance between two locations. The default (a nil
 // Metric) is the Euclidean distance; road networks provide travel
 // distances (paper Section II-A: "applying other metrics such as

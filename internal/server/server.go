@@ -10,12 +10,19 @@
 //	GET  /metrics        Prometheus text exposition of the server metrics
 //	POST /search         run a query; see SearchRequest / SearchResponse
 //	POST /snap           snap a map click to nearby objects
+//	GET  /debug/queries  flight recorder: recent + slowest queries
+//	                     (?format=html for a browsable page)
+//	GET  /debug/queries/capture  replayable capture of retained slow
+//	                     queries (feed to `seqbench -exp replay`)
 //	GET  /debug/pprof/*  runtime profiles (only with Config.EnablePprof)
 //
-// Every request gets an X-Request-ID and a structured JSON log line
-// (configure Config.Logger; the default discards logs). Metrics cover
-// per-endpoint request/status counts, in-flight requests, per-algorithm
-// search latency, cumulative engine work counters and query-cache state.
+// Every request gets an X-Request-ID (a valid client-supplied one is
+// honored, so records correlate with upstream logs) and a structured
+// JSON log line (configure Config.Logger; the default discards logs).
+// Metrics cover per-endpoint request/status counts, in-flight requests,
+// per-algorithm search latency, cumulative engine work counters,
+// query-cache state, process health, and the flight recorder's adaptive
+// slow-query threshold.
 package server
 
 import (
@@ -23,8 +30,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"html/template"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -36,6 +45,7 @@ import (
 	"spatialseq/internal/export"
 	"spatialseq/internal/geo"
 	"spatialseq/internal/obs"
+	"spatialseq/internal/obs/flight"
 	"spatialseq/internal/qcache"
 	"spatialseq/internal/query"
 	"spatialseq/internal/stats"
@@ -56,6 +66,12 @@ type Config struct {
 	Metrics *obs.Registry
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Flight is the query flight recorder backing /debug/queries. Nil
+	// builds a default recorder (256-slot ring, 1m window, slowest 16,
+	// adaptive threshold) logging slow queries through Logger. The
+	// recorder is attached to the engine, so engine-side emissions and
+	// the server's cache-hit records land in one place.
+	Flight *flight.Recorder
 }
 
 // Server handles the HTTP API for one engine.
@@ -67,11 +83,13 @@ type Server struct {
 	mux     *http.ServeMux
 	logger  *slog.Logger
 	reg     *obs.Registry
+	flight  *flight.Recorder
 
-	inflight obs.Gauge
-	requests *obs.CounterVec
-	latency  *obs.HistogramVec
-	work     *obs.CounterVec
+	inflight      obs.Gauge
+	requests      *obs.CounterVec
+	latency       *obs.HistogramVec
+	work          *obs.CounterVec
+	phasesDropped obs.Counter
 
 	// idOnce guards the lazy one-time build of idIndex, the dataset's
 	// id -> position map used to resolve CSEQ-FP fixed_id references.
@@ -95,6 +113,9 @@ func NewWith(eng *core.Engine, cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Flight == nil {
+		cfg.Flight = flight.New(flight.Config{Logger: cfg.Logger})
+	}
 	s := &Server{
 		eng:     eng,
 		Timeout: cfg.Timeout,
@@ -102,7 +123,14 @@ func NewWith(eng *core.Engine, cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		logger:  cfg.Logger,
 		reg:     cfg.Metrics,
+		flight:  cfg.Flight,
 	}
+	// The engine emits the per-query flight records (outcome, phases,
+	// work); the server adds the cache-hit records the engine never
+	// sees. Attaching here means the last server built around an engine
+	// owns its record stream.
+	eng.SetFlightRecorder(cfg.Flight)
+	obs.RegisterProcessMetrics(cfg.Metrics)
 	s.inflight = cfg.Metrics.Gauge("spatialseq_http_in_flight_requests",
 		"Requests currently being served.").With()
 	s.requests = cfg.Metrics.Counter("spatialseq_http_requests_total",
@@ -111,6 +139,33 @@ func NewWith(eng *core.Engine, cfg Config) *Server {
 		"Engine search latency (cache hits excluded).", nil, "algorithm")
 	s.work = cfg.Metrics.Counter("spatialseq_search_work_total",
 		"Cumulative engine work counters, by stats.Snapshot field.", "counter")
+	s.phasesDropped = cfg.Metrics.Counter("spatialseq_trace_phases_dropped_total",
+		"Phase-trace additions discarded by the per-query phase bound (obs.Trace overflow).").With()
+	rec := s.flight
+	cfg.Metrics.GaugeFunc("spatialseq_slow_query_threshold_seconds",
+		"Effective flight-recorder slow-query threshold (+Inf while the adaptive tracker warms up with no floor set).",
+		func() float64 {
+			thr, ok := rec.Threshold()
+			if !ok {
+				return math.Inf(1)
+			}
+			return thr.Seconds()
+		})
+	cfg.Metrics.GaugeFunc("spatialseq_query_latency_p99_seconds",
+		"Streaming p99 query-latency estimate from the flight recorder.",
+		func() float64 {
+			p, ok := rec.P99()
+			if !ok {
+				return 0
+			}
+			return p.Seconds()
+		})
+	cfg.Metrics.GaugeFunc("spatialseq_flight_observed",
+		"Queries recorded by the flight recorder since start.",
+		func() float64 { return float64(rec.Observed()) })
+	cfg.Metrics.GaugeFunc("spatialseq_flight_slow",
+		"Queries that crossed the slow-query threshold since start.",
+		func() float64 { return float64(rec.SlowCount()) })
 	cache := s.cache
 	cfg.Metrics.GaugeFunc("spatialseq_qcache_hits",
 		"Query-cache hits since start.",
@@ -131,6 +186,8 @@ func NewWith(eng *core.Engine, cfg Config) *Server {
 	s.handle("/metrics", http.MethodGet, s.handleMetrics)
 	s.handle("/search", http.MethodPost, s.handleSearch)
 	s.handle("/snap", http.MethodPost, s.handleSnap)
+	s.handle("/debug/queries", http.MethodGet, s.handleDebugQueries)
+	s.handle("/debug/queries/capture", http.MethodGet, s.handleDebugCapture)
 	if cfg.EnablePprof {
 		// pprof handlers manage their own content types and streaming
 		// (the CPU profile blocks for its sampling window), so they mount
@@ -146,11 +203,17 @@ func NewWith(eng *core.Engine, cfg Config) *Server {
 
 // handle mounts h at pattern with the shared instrumentation: method
 // enforcement (405 with an Allow header), request IDs, the in-flight
-// gauge, per-endpoint status counters and the access log.
+// gauge, per-endpoint status counters and the access log. A wellformed
+// client-supplied X-Request-ID is propagated instead of minting one, so
+// flight-recorder records and request logs correlate with the caller's
+// own logs; malformed or oversized values are replaced, never echoed.
 func (s *Server) handle(pattern, method string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := obs.NewRequestID()
+		id := r.Header.Get("X-Request-ID")
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
 		w.Header().Set("X-Request-ID", id)
 		rec := &obs.ResponseRecorder{ResponseWriter: w, Status: http.StatusOK}
 		s.inflight.Inc()
@@ -335,19 +398,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.Timeout)
 	defer cancel()
-	opt := core.Options{CollectStats: true}
+	// A trace is always attached so flight-recorder records carry the
+	// phase breakdown; on cache hits the engine never runs and the trace
+	// stays empty.
+	opt := core.Options{CollectStats: true, Trace: obs.NewTrace()}
 	var (
 		res    *core.Result
 		cached bool
 	)
+	searchStart := time.Now()
 	if req.IncludeStats {
 		// Bypass the cache: the phase timings must describe this
 		// execution, not a stored one.
-		opt.Trace = obs.NewTrace()
 		res, err = s.eng.Search(ctx, q, algo, opt)
 	} else {
 		res, cached, err = s.cache.Search(ctx, s.eng, q, algo, opt)
 	}
+	s.phasesDropped.Add(float64(opt.Trace.Dropped()))
 	if err != nil {
 		status := http.StatusBadRequest
 		if ctx.Err() != nil {
@@ -372,6 +439,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		res.Stats.Each(func(name string, value int64) {
 			s.work.With(name).Add(float64(value))
 		})
+	} else {
+		// The engine emits flight records for its own runs; cache hits
+		// never reach it, so the server records them here.
+		s.emitHitRecord(r.Context(), q, res, time.Since(searchStart))
 	}
 	if req.Format == "geojson" {
 		w.Header().Set("Content-Type", "application/geo+json")
@@ -386,6 +457,121 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Stats = &SearchStats{Work: res.Stats, Phases: opt.Trace.Snapshot()}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// emitHitRecord records a cache-hit query in the flight recorder. The
+// latency is the cache-lookup wall time; Work carries the counters of
+// the execution that originally produced the cached result, so a replay
+// of the capture still has exact counters to match against.
+func (s *Server) emitHitRecord(ctx context.Context, q *query.Query, res *core.Result, elapsed time.Duration) {
+	rec := flight.Record{
+		RequestID: obs.RequestID(ctx),
+		ShardID:   flight.NoShard,
+		Start:     time.Now().Add(-elapsed).UnixNano(),
+		LatencyNS: int64(elapsed),
+		Algorithm: res.Algorithm.String(),
+		Variant:   q.Variant.String(),
+		M:         int32(q.Example.M()),
+		Dims:      int32(s.eng.Dataset().AttrDim()),
+		Pins:      int32(len(q.Example.Fixed)),
+		K:         int32(q.Params.K),
+		CacheHit:  true,
+		Outcome:   flight.OutcomeOK,
+		Work:      res.Stats,
+	}
+	if s.flight.WouldRetain(elapsed) {
+		rec.Capture = core.CaptureQuery(s.eng.Dataset(), q, res.Algorithm)
+	}
+	s.flight.ObserveAndLog(&rec)
+}
+
+// debugQueriesResponse is the GET /debug/queries body: recorder state
+// plus the tail-sampled slowest and ring-buffered recent records.
+type debugQueriesResponse struct {
+	Observed uint64 `json:"observed"`
+	Slow     uint64 `json:"slow"`
+	// ThresholdActive is false while the adaptive tracker is still
+	// warming up and no floor is configured (nothing counts as slow).
+	ThresholdActive bool            `json:"threshold_active"`
+	ThresholdMS     float64         `json:"threshold_ms,omitempty"`
+	P99MS           float64         `json:"p99_ms,omitempty"`
+	Slowest         []flight.Record `json:"slowest"`
+	Recent          []flight.Record `json:"recent"`
+}
+
+func (s *Server) debugQueriesState(n int) debugQueriesResponse {
+	resp := debugQueriesResponse{
+		Observed: s.flight.Observed(),
+		Slow:     s.flight.SlowCount(),
+		Slowest:  s.flight.Slowest(),
+		Recent:   s.flight.Recent(n),
+	}
+	if thr, ok := s.flight.Threshold(); ok {
+		resp.ThresholdActive = true
+		resp.ThresholdMS = float64(thr) / float64(time.Millisecond)
+	}
+	if p, ok := s.flight.P99(); ok {
+		resp.P99MS = float64(p) / float64(time.Millisecond)
+	}
+	if len(resp.Slowest) > n {
+		resp.Slowest = resp.Slowest[:n]
+	}
+	return resp
+}
+
+// debugPage renders /debug/queries?format=html — a dependency-free
+// one-page view for a browser next to a misbehaving deployment.
+var debugPage = template.Must(template.New("queries").Parse(`<!doctype html>
+<html><head><title>spatialseq query flight recorder</title>
+<style>
+body{font-family:ui-monospace,monospace;margin:1.5em}
+table{border-collapse:collapse;margin:0.5em 0}
+td,th{border:1px solid #bbb;padding:2px 8px;text-align:right}
+td.l,th.l{text-align:left}
+th{background:#eee}
+</style></head><body>
+<h1>query flight recorder</h1>
+<p>observed {{.Observed}} &middot; slow {{.Slow}}{{if .ThresholdActive}} &middot; threshold {{printf "%.3f" .ThresholdMS}} ms{{end}}{{if .P99MS}} &middot; p99 {{printf "%.3f" .P99MS}} ms{{end}}</p>
+<h2>slowest (tail-sampled)</h2>
+{{template "tbl" .Slowest}}
+<h2>recent</h2>
+{{template "tbl" .Recent}}
+{{define "tbl"}}{{if .}}<table>
+<tr><th class=l>request</th><th>seq</th><th>latency ms</th><th class=l>algorithm</th><th class=l>variant</th><th>m</th><th>pins</th><th>k</th><th class=l>cache</th><th class=l>outcome</th><th class=l>capture</th></tr>
+{{range .}}<tr><td class=l>{{.RequestID}}</td><td>{{.Seq}}</td><td>{{printf "%.3f" .LatencyMS}}</td><td class=l>{{.Algorithm}}</td><td class=l>{{.Variant}}</td><td>{{.M}}</td><td>{{.Pins}}</td><td>{{.K}}</td><td class=l>{{if .CacheHit}}hit{{else}}miss{{end}}</td><td class=l>{{.Outcome}}</td><td class=l>{{if .Capture}}yes{{end}}</td></tr>
+{{end}}</table>{{else}}<p>(none)</p>{{end}}{{end}}
+</body></html>
+`))
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid n %q", v)})
+			return
+		}
+		n = parsed
+	}
+	resp := s.debugQueriesState(n)
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		s.writeJSON(w, http.StatusOK, resp)
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := debugPage.Execute(w, resp); err != nil {
+			s.logWriteErr(r.Context(), err)
+		}
+	default:
+		s.writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("unknown format %q", r.URL.Query().Get("format"))})
+	}
+}
+
+// handleDebugCapture exports the retained slow queries in the replayable
+// capture format `seqbench -exp replay` consumes.
+func (s *Server) handleDebugCapture(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.flight.CaptureFile())
 }
 
 // SnapRequest is the /snap request body: a map click to resolve to the

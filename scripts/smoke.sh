@@ -2,8 +2,11 @@
 # smoke.sh — end-to-end server smoke test.
 #
 # Builds seqserver, starts it on an ephemeral port against a tiny
-# synthetic dataset, probes /healthz, /metrics and one /search, and
-# fails on any non-200 answer. check.sh runs this as its last step.
+# synthetic dataset, probes /healthz, /metrics, one /search, the flight
+# recorder's /debug/queries surface, and finally replays the recorder's
+# capture export through `seqbench -exp replay` (work counters must
+# match the recorded ones exactly). Fails on any non-200 answer.
+# check.sh runs this as its last step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,8 +19,12 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$workdir/seqserver" ./cmd/seqserver
+go build -o "$workdir/seqbench" ./cmd/seqbench
 
-"$workdir/seqserver" -synth gaode -n 2000 -addr 127.0.0.1:0 \
+# -flight-threshold 1ns: every query counts as slow, so the capture
+# export below is guaranteed to carry replayable records.
+"$workdir/seqserver" -synth gaode -n 2000 -seed 1 -addr 127.0.0.1:0 \
+    -flight-threshold 1ns \
     >/dev/null 2>"$workdir/server.log" &
 server_pid=$!
 
@@ -71,4 +78,43 @@ grep -q '"results"' "$workdir/body" || {
     exit 1
 }
 
-echo "smoke test passed ($addr)"
+# The flight recorder must have seen the search above.
+probe debug-queries 200 "http://$addr/debug/queries"
+grep -q '"observed":1' "$workdir/body" || {
+    echo "smoke: /debug/queries did not record the search" >&2
+    cat "$workdir/body" >&2
+    exit 1
+}
+probe debug-queries-html 200 "http://$addr/debug/queries?format=html"
+grep -q 'query flight recorder' "$workdir/body" || {
+    echo "smoke: /debug/queries?format=html is not the debug page" >&2
+    exit 1
+}
+probe metrics-flight 200 "http://$addr/metrics"
+grep -q '^spatialseq_slow_query_threshold_seconds' "$workdir/body" || {
+    echo "smoke: /metrics misses spatialseq_slow_query_threshold_seconds" >&2
+    exit 1
+}
+
+# Capture -> replay round trip: export the retained slow queries and
+# re-run them offline; replay fails if the work counters diverge.
+probe capture 200 "http://$addr/debug/queries/capture"
+cp "$workdir/body" "$workdir/capture.json"
+grep -q '"capture"' "$workdir/capture.json" || {
+    echo "smoke: capture export carries no replayable record" >&2
+    cat "$workdir/capture.json" >&2
+    exit 1
+}
+"$workdir/seqbench" -exp replay -capture "$workdir/capture.json" \
+    >"$workdir/replay.out" 2>&1 || {
+    echo "smoke: seqbench replay failed" >&2
+    cat "$workdir/replay.out" >&2
+    exit 1
+}
+grep -q '0 work-counter mismatches' "$workdir/replay.out" || {
+    echo "smoke: replay reported counter mismatches" >&2
+    cat "$workdir/replay.out" >&2
+    exit 1
+}
+
+echo "smoke test passed ($addr, replay verified)"
