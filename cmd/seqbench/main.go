@@ -102,6 +102,9 @@ func experiments() []experiment {
 			return eval.Fig11(ctx, w, cfg, firstTwo(cfg.Sizes))
 		}},
 		{"phases", "per-phase wall-time breakdown (obs.Trace)", single(eval.PhaseBreakdown)},
+		{"skew", "subspace-imbalance baseline from span tracing (parallel workers)", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return eval.SkewBaseline(ctx, w, cfg)
+		}},
 		{"ablation-partition", "A1: HSP partitioning on/off", single(eval.AblationPartition)},
 		{"ablation-bounds", "A4: HSP refined vs loose bounds", single(eval.AblationBounds)},
 		{"ablation-sampling", "A2: query-dependent vs random sampling", func(ctx context.Context, w io.Writer, cfg eval.Config) error {

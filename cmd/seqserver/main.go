@@ -8,7 +8,9 @@
 //	seqserver -synth gaode -addr 127.0.0.1:0 -pprof -log-level debug
 //
 // Endpoints: GET /healthz, /stats, /categories, /metrics, POST /search,
-// /snap, GET /debug/queries (+ /debug/queries/capture), and (with
+// /snap, GET /debug/queries (+ /debug/queries/capture), GET
+// /debug/trace/{requestID} (Chrome trace export of a retained slow
+// query's span tree, ?format=html for an inline timeline), and (with
 // -pprof) GET /debug/pprof/* (see internal/server).
 //
 // The query flight recorder is always on: every completed query leaves a

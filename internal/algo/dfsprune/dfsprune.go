@@ -18,6 +18,7 @@ import (
 
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/obs"
+	"spatialseq/internal/obs/span"
 	"spatialseq/internal/query"
 	"spatialseq/internal/simil"
 	"spatialseq/internal/stats"
@@ -40,21 +41,35 @@ func SearchStats(ctx context.Context, ds *dataset.Dataset, q *query.Query, st *s
 // SearchTraced is SearchStats with optional per-phase wall-time tracing
 // (candidate enumeration, DFS, top-k merge). Both st and tr may be nil.
 func SearchTraced(ctx context.Context, ds *dataset.Dataset, q *query.Query, st *stats.Stats, tr *obs.Trace) ([]topk.Entry, error) {
+	return SearchObserved(ctx, ds, q, st, tr, span.Span{})
+}
+
+// SearchObserved is SearchTraced with hierarchical span tracing nested
+// under parent: the baseline runs one worker over one whole-space
+// "subspace", so its timeline is a single lane. The zero parent Span
+// disables span tracing at no cost.
+func SearchObserved(ctx context.Context, ds *dataset.Dataset, q *query.Query, st *stats.Stats, tr *obs.Trace, parent span.Span) ([]topk.Entry, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sctx := simil.NewContext(ds, q)
 	m := sctx.M
+	ws := parent.Worker("dfs.worker", 0)
 	sp := tr.Start("dfs.candidates")
+	csp := ws.Child("dfs.candidates")
 	cands := make([][]simil.Cand, m)
+	var candTotal int64
 	for d := 0; d < m; d++ {
 		if fixed := q.Example.FixedDim(d); fixed >= 0 {
 			cands[d] = []simil.Cand{{Pos: fixed, Sim: sctx.AttrSim(d, fixed)}}
 		} else {
 			cands[d] = sctx.Candidates(d, ds.CategoryObjects(q.Example.Categories[d]))
 		}
-		st.AddCandidates(int64(len(cands[d])))
+		candTotal += int64(len(cands[d]))
 	}
+	st.AddCandidates(candTotal)
+	st.RaiseSubspaceCandidates(candTotal)
+	csp.End()
 	sp.End()
 	st.AddSubspaces(1) // the baseline searches the whole space as one
 	heap := topk.New(q.Params.K)
@@ -67,16 +82,28 @@ func SearchTraced(ctx context.Context, ds *dataset.Dataset, q *query.Query, st *
 		scratch: sctx.NewScratch(),
 	}
 	sp = tr.Start("dfs.search")
+	sub := ws.Subspace("dfs.search", 0)
 	err := s.dfs(0, 0)
+	sub.EndWork(stats.Snapshot{
+		Subspaces:             1,
+		Candidates:            candTotal,
+		PrunedPrefixes:        s.pruned,
+		Tuples:                s.tuples,
+		Offered:               s.offered,
+		SubspaceCandidatesMax: candTotal,
+	})
 	sp.End()
 	st.AddPrunedPrefixes(s.pruned)
 	st.AddTuples(s.tuples)
 	st.AddOffered(s.offered)
+	ws.End()
 	if err != nil {
 		return nil, err
 	}
 	sp = tr.Start("topk.merge")
+	msp := parent.Child("topk.merge")
 	res := heap.Results()
+	msp.End()
 	sp.End()
 	return res, nil
 }

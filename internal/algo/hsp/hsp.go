@@ -25,6 +25,7 @@ import (
 
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/obs"
+	"spatialseq/internal/obs/span"
 	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/simil"
@@ -59,6 +60,11 @@ type Options struct {
 	// candidate enumeration, DFS, top-k merge). With Parallelism > 1
 	// the phase times sum across workers and can exceed wall time.
 	Trace *obs.Trace
+	// Span, when live, is the parent span the search nests its
+	// hierarchical timeline under: one worker span per goroutine, one
+	// subspace span per searched subspace, with the per-subspace work
+	// counters attached. The zero Span disables span tracing at no cost.
+	Span span.Span
 }
 
 // Search answers q exactly using the prebuilt partition index ix (which
@@ -74,7 +80,9 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 		radius = math.Inf(1)
 	}
 	sp := opt.Trace.Start("hsp.partition")
+	psp := opt.Span.Child("hsp.partition")
 	part, err := ix.PartitionBucketed(radius)
+	psp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -105,26 +113,34 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	// subspaces run in parallel. A single subspace has no reuse to win.
 	if len(work) > 1 {
 		sp = opt.Trace.Start("hsp.simprep")
+		ssp := opt.Span.Child("hsp.simprep")
 		if workers > 1 {
 			opt.Stats.AddAttrSimMemoMisses(sctx.PrepareMemoShared())
 		} else {
 			sctx.EnableMemo()
 		}
+		ssp.End()
 		sp.End()
 	}
 	if workers <= 1 {
 		heap := topk.New(q.Params.K)
 		s := newSearcher(ctx, sctx, heap, opt)
-		for _, ss := range work {
-			if err := s.searchSubspace(ds, q, ss); err != nil {
+		ws := opt.Span.Worker("hsp.worker", 0)
+		for i, ss := range work {
+			sub := ws.Subspace("hsp.subspace", i)
+			if err := s.searchSubspace(ds, q, ss, sub); err != nil {
+				ws.End()
 				return nil, err
 			}
 		}
+		ws.End()
 		h, mi := sctx.MemoCounters()
 		opt.Stats.AddAttrSimMemoHits(h)
 		opt.Stats.AddAttrSimMemoMisses(mi)
 		sp = opt.Trace.Start("topk.merge")
+		msp := opt.Span.Child("topk.merge")
 		res := heap.Results()
+		msp.End()
 		sp.End()
 		return res, nil
 	}
@@ -143,27 +159,32 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			ws := opt.Span.Worker("hsp.worker", w)
+			defer ws.End()
 			s := newSearcher(ctx, sctx, sink, opt)
 			for !stop.Load() {
 				i := next.Add(1) - 1
 				if int(i) >= len(work) {
 					return
 				}
-				if err := s.searchSubspace(ds, q, work[i]); err != nil {
+				sub := ws.Subspace("hsp.subspace", int(i))
+				if err := s.searchSubspace(ds, q, work[i], sub); err != nil {
 					record(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if callErr != nil {
 		return nil, callErr
 	}
 	sp = opt.Trace.Start("topk.merge")
+	msp := opt.Span.Child("topk.merge")
 	res := sink.Results()
+	msp.End()
 	sp.End()
 	return res, nil
 }
@@ -185,32 +206,44 @@ func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, opt O
 	}
 }
 
-// searchSubspace prepares and runs Exact-DFS over one subspace.
-func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *partition.Subspace) error {
+// searchSubspace prepares and runs Exact-DFS over one subspace. The sub
+// span (a no-op when span tracing is off) is closed on every return
+// path, carrying this subspace's work-counter delta.
+func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *partition.Subspace, sub span.Span) error {
 	s.local = localCounters{}
 	var t0 time.Time
 	if s.tr != nil {
 		t0 = time.Now()
 	}
+	csp := sub.Child("hsp.candidates")
 	skip, err := s.prepareSubspace(ds, q, ss)
+	csp.End()
 	if s.tr != nil {
 		s.tr.Add("hsp.candidates", time.Since(t0))
 	}
 	if err != nil || skip {
 		if skip {
 			s.st.AddSubspacesSkipped(1)
+			sub.EndWork(stats.Snapshot{SubspacesSkipped: 1, AttrSimMemoHits: s.local.memoHits})
+		} else {
+			sub.End()
 		}
 		s.st.AddAttrSimMemoHits(s.local.memoHits)
 		return err
 	}
 	s.st.AddSubspaces(1)
+	var candTotal int64
 	for d := 0; d < s.sctx.M; d++ {
-		s.st.AddCandidates(int64(len(s.cands[d])))
+		candTotal += int64(len(s.cands[d]))
 	}
+	s.st.AddCandidates(candTotal)
+	s.st.RaiseSubspaceCandidates(candTotal)
 	if s.tr != nil {
 		t0 = time.Now()
 	}
+	dsp := sub.Child("hsp.dfs")
 	err = s.dfs(0, 0)
+	dsp.End()
 	if s.tr != nil {
 		s.tr.Add("hsp.dfs", time.Since(t0))
 	}
@@ -218,6 +251,15 @@ func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *parti
 	s.st.AddTuples(s.local.tuples)
 	s.st.AddOffered(s.local.offered)
 	s.st.AddAttrSimMemoHits(s.local.memoHits)
+	sub.EndWork(stats.Snapshot{
+		Subspaces:             1,
+		Candidates:            candTotal,
+		PrunedPrefixes:        s.local.pruned,
+		Tuples:                s.local.tuples,
+		Offered:               s.local.offered,
+		AttrSimMemoHits:       s.local.memoHits,
+		SubspaceCandidatesMax: candTotal,
+	})
 	return err
 }
 

@@ -1,0 +1,117 @@
+package hsp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/obs/span"
+	"spatialseq/internal/query"
+	"spatialseq/internal/stats"
+	"spatialseq/internal/testutil"
+)
+
+// TestSpanTimeline verifies the worker/subspace span tree a parallel HSP
+// search records: one lane per worker, every subspace span tagged and
+// carrying its work delta, and the per-subspace candidate counts
+// consistent with the query-wide counters.
+func TestSpanTimeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	ds := testutil.RandDataset(rng, 300, 3, 4, 100)
+	ix := buildIndex(ds)
+	params := query.Params{K: 5, Alpha: 0.5, Beta: 1.5, GridD: 4, Xi: 10}
+	q := testutil.RandQuery(rng, ds, 3, 20, params)
+	if err := q.Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+	st := &stats.Stats{}
+	tr := span.NewTracer()
+	root := tr.Root("search")
+	if _, err := Search(context.Background(), ds, ix, q, Options{
+		Parallelism: 4, Stats: st, Span: root,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tree := tr.Snapshot()
+	if tree == nil {
+		t.Fatal("no spans recorded")
+	}
+	workers := make(map[int32]bool)
+	var subspaceSpans int
+	var workSubspaces, workSkipped, maxCand int64
+	for _, n := range tree.Nodes {
+		switch n.Name {
+		case "hsp.worker":
+			workers[n.Worker] = true
+		case "hsp.subspace":
+			subspaceSpans++
+			if n.Subspace < 0 {
+				t.Error("subspace span without subspace tag")
+			}
+			if n.Worker < 0 {
+				t.Error("subspace span outside a worker lane")
+			}
+			if n.Work == nil {
+				t.Fatal("subspace span without work delta")
+			}
+			workSubspaces += n.Work.Subspaces
+			workSkipped += n.Work.SubspacesSkipped
+			if n.Work.Candidates != n.Work.SubspaceCandidatesMax {
+				t.Errorf("per-subspace delta: candidates %d != own max %d",
+					n.Work.Candidates, n.Work.SubspaceCandidatesMax)
+			}
+			if n.Work.SubspaceCandidatesMax > maxCand {
+				maxCand = n.Work.SubspaceCandidatesMax
+			}
+		}
+	}
+	if len(workers) == 0 || len(workers) > 4 {
+		t.Errorf("got %d worker lanes, want 1..4", len(workers))
+	}
+	snap := st.Snapshot()
+	if subspaceSpans == 0 || workSubspaces+workSkipped != snap.Subspaces+snap.SubspacesSkipped {
+		t.Errorf("span work deltas (%d searched + %d skipped over %d spans) disagree with counters (%d + %d)",
+			workSubspaces, workSkipped, subspaceSpans, snap.Subspaces, snap.SubspacesSkipped)
+	}
+	if snap.SubspaceCandidatesMax != maxCand {
+		t.Errorf("SubspaceCandidatesMax = %d, want the span-tree max %d", snap.SubspaceCandidatesMax, maxCand)
+	}
+	if sk := tr.Skew(); sk == nil || sk.Workers != len(workers) {
+		t.Errorf("skew report = %+v, want %d workers", sk, len(workers))
+	}
+
+	// The derived flat aggregate exposes leaf phases, not the lanes.
+	for _, p := range tr.PhaseTimings() {
+		if p.Name == "hsp.worker" || p.Name == "search" {
+			t.Errorf("container span %q leaked into phase timings", p.Name)
+		}
+	}
+}
+
+// TestSpanSequentialLane: the sequential path still records a single
+// worker-0 lane so timelines and skew reports have a uniform shape.
+func TestSpanSequentialLane(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	ds := testutil.RandDataset(rng, 200, 3, 4, 100)
+	ix := buildIndex(ds)
+	params := query.Params{K: 4, Alpha: 0.5, Beta: 1.5, GridD: 4, Xi: 10}
+	q := testutil.RandQuery(rng, ds, 3, 20, params)
+	if err := q.Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+	tr := span.NewTracer()
+	root := tr.Root("search")
+	if _, err := Search(context.Background(), ds, ix, q, Options{Span: root}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	sk := tr.Skew()
+	if sk == nil || sk.Workers != 1 || sk.Parallel {
+		t.Errorf("sequential skew = %+v, want exactly one non-parallel lane", sk)
+	}
+	if sk != nil && sk.ImbalanceRatio != 1 {
+		t.Errorf("single lane imbalance = %v, want 1", sk.ImbalanceRatio)
+	}
+}

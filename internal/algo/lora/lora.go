@@ -34,6 +34,7 @@ import (
 	"spatialseq/internal/geo"
 	"spatialseq/internal/grid"
 	"spatialseq/internal/obs"
+	"spatialseq/internal/obs/span"
 	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/rankgraph"
@@ -73,6 +74,11 @@ type Options struct {
 	// enumeration, top-k merge). With Parallelism > 1 the phase times
 	// sum across workers and can exceed wall time.
 	Trace *obs.Trace
+	// Span, when live, is the parent span the search nests its
+	// hierarchical timeline under: one worker span per goroutine, one
+	// subspace span per searched subspace, with the per-subspace work
+	// counters attached. The zero Span disables span tracing at no cost.
+	Span span.Span
 }
 
 // Search answers q approximately using the prebuilt partition index ix.
@@ -83,7 +89,9 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	sctx := simil.NewContext(ds, q)
 	radius := sctx.PartitionRadius()
 	sp := opt.Trace.Start("lora.partition")
+	psp := opt.Span.Child("lora.partition")
 	part, err := ix.PartitionBucketed(radius)
+	psp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -111,26 +119,34 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	// Context. One subspace means no reuse, so skip the table.
 	if len(work) > 1 {
 		sp = opt.Trace.Start("lora.simprep")
+		ssp := opt.Span.Child("lora.simprep")
 		if workers > 1 {
 			opt.Stats.AddAttrSimMemoMisses(sctx.PrepareMemoShared())
 		} else {
 			sctx.EnableMemo()
 		}
+		ssp.End()
 		sp.End()
 	}
 	if workers <= 1 {
 		heap := topk.New(q.Params.K)
 		s := newSearcher(ctx, sctx, heap, q, opt)
-		for _, ss := range work {
-			if err := s.searchSubspace(ss); err != nil {
+		ws := opt.Span.Worker("lora.worker", 0)
+		for i, ss := range work {
+			sub := ws.Subspace("lora.subspace", i)
+			if err := s.searchSubspace(ss, sub); err != nil {
+				ws.End()
 				return nil, err
 			}
 		}
+		ws.End()
 		h, mi := sctx.MemoCounters()
 		opt.Stats.AddAttrSimMemoHits(h)
 		opt.Stats.AddAttrSimMemoMisses(mi)
 		sp = opt.Trace.Start("topk.merge")
+		msp := opt.Span.Child("topk.merge")
 		res := heap.Results()
+		msp.End()
 		sp.End()
 		return res, nil
 	}
@@ -149,27 +165,32 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			ws := opt.Span.Worker("lora.worker", w)
+			defer ws.End()
 			s := newSearcher(ctx, sctx, sink, q, opt)
 			for !stop.Load() {
 				i := next.Add(1) - 1
 				if int(i) >= len(work) {
 					return
 				}
-				if err := s.searchSubspace(work[i]); err != nil {
+				sub := ws.Subspace("lora.subspace", int(i))
+				if err := s.searchSubspace(work[i], sub); err != nil {
 					record(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if callErr != nil {
 		return nil, callErr
 	}
 	sp = opt.Trace.Start("topk.merge")
+	msp := opt.Span.Child("topk.merge")
 	res := sink.Results()
+	msp.End()
 	sp.End()
 	return res, nil
 }
@@ -207,7 +228,31 @@ func (s *searcher) flushStats() {
 	s.st.AddTuples(s.local.tuples)
 	s.st.AddOffered(s.local.offered)
 	s.st.AddAttrSimMemoHits(s.local.memoHits)
+	s.st.RaiseSubspaceCandidates(s.local.candidates)
 	s.local = localCounters{}
+}
+
+// localSnapshot converts the current per-subspace counter batch into
+// the work delta attached to the subspace span; searched selects
+// between the searched and skipped subspace count.
+func (s *searcher) localSnapshot(searched bool) stats.Snapshot {
+	snap := stats.Snapshot{
+		Candidates:            s.local.candidates,
+		SampledOut:            s.local.sampledOut,
+		CellTuples:            s.local.cellTuples,
+		PrunedCellPrefixes:    s.local.prunedCells,
+		RankPops:              s.local.pops,
+		Tuples:                s.local.tuples,
+		Offered:               s.local.offered,
+		AttrSimMemoHits:       s.local.memoHits,
+		SubspaceCandidatesMax: s.local.candidates,
+	}
+	if searched {
+		snap.Subspaces = 1
+	} else {
+		snap.SubspacesSkipped = 1
+	}
+	return snap
 }
 
 type searcher struct {
@@ -273,15 +318,21 @@ func (s *searcher) checkCancel() error {
 	return nil
 }
 
-func (s *searcher) searchSubspace(ss *partition.Subspace) error {
+// searchSubspace buckets, samples, and enumerates one subspace. The sub
+// span (a no-op when span tracing is off) is closed on every return
+// path, carrying this subspace's work-counter delta.
+func (s *searcher) searchSubspace(ss *partition.Subspace, sub span.Span) error {
 	c := s.sctx
 	m := c.M
 	var t0 time.Time
 	if s.tr != nil {
 		t0 = time.Now()
 	}
+	smp := sub.Child("lora.sample")
 	g, err := grid.New(ss.AC, s.q.Params.GridD)
 	if err != nil {
+		smp.End()
+		sub.End()
 		return err
 	}
 	s.g = g
@@ -315,7 +366,9 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 				if s.tr != nil {
 					s.tr.Add("lora.sample", time.Since(t0))
 				}
+				smp.End()
 				s.st.AddSubspacesSkipped(1)
+				sub.EndWork(s.localSnapshot(false))
 				s.flushStats()
 				return nil // subspace cannot host the pinned object
 			}
@@ -357,7 +410,9 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 			if s.tr != nil {
 				s.tr.Add("lora.sample", time.Since(t0))
 			}
+			smp.End()
 			s.st.AddSubspacesSkipped(1)
+			sub.EndWork(s.localSnapshot(false))
 			s.flushStats()
 			return nil // no candidates for this dimension here
 		}
@@ -366,6 +421,7 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 		s.tr.Add("lora.sample", time.Since(t0))
 		t0 = time.Now()
 	}
+	smp.End()
 	for d := 0; d < m; d++ {
 		sortScoredCells(s.cellLists[d])
 	}
@@ -375,13 +431,16 @@ func (s *searcher) searchSubspace(ss *partition.Subspace) error {
 	}
 	s.st.AddSubspaces(1)
 	s.pointDur = 0
+	esp := sub.Child("lora.enum")
 	err = s.cellDFS(0, 0)
+	esp.End()
 	if s.tr != nil {
 		// pointEnum time is carved out of the enumeration window so the
 		// cell- and point-level phases stay disjoint.
 		s.tr.Add("lora.points", s.pointDur)
 		s.tr.Add("lora.cells", time.Since(t0)-s.pointDur)
 	}
+	sub.EndWork(s.localSnapshot(true))
 	s.flushStats()
 	return err
 }

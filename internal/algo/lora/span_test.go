@@ -1,0 +1,72 @@
+package lora
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/obs/span"
+	"spatialseq/internal/query"
+	"spatialseq/internal/stats"
+	"spatialseq/internal/testutil"
+)
+
+// TestSpanTimeline verifies LORA's span tree under parallel workers:
+// subspace spans are lane-tagged with work deltas, and the per-subspace
+// candidate max agrees with the query-wide counter.
+func TestSpanTimeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	ds := testutil.RandDataset(rng, 300, 3, 4, 100)
+	ix := buildIndex(ds)
+	params := query.Params{K: 5, Alpha: 0.5, Beta: 1.5, GridD: 4, Xi: 10}
+	q := testutil.RandQuery(rng, ds, 3, 20, params)
+	if err := q.Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+	st := &stats.Stats{}
+	tr := span.NewTracer()
+	root := tr.Root("search")
+	if _, err := Search(context.Background(), ds, ix, q, Options{
+		Parallelism: 4, Stats: st, Span: root,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tree := tr.Snapshot()
+	if tree == nil {
+		t.Fatal("no spans recorded")
+	}
+	workers := make(map[int32]bool)
+	var subspaceSpans int
+	var maxCand int64
+	for _, n := range tree.Nodes {
+		switch n.Name {
+		case "lora.worker":
+			workers[n.Worker] = true
+		case "lora.subspace":
+			subspaceSpans++
+			if n.Subspace < 0 || n.Worker < 0 {
+				t.Errorf("subspace span untagged: worker %d subspace %d", n.Worker, n.Subspace)
+			}
+			if n.Work == nil {
+				t.Fatal("subspace span without work delta")
+			}
+			if n.Work.SubspaceCandidatesMax > maxCand {
+				maxCand = n.Work.SubspaceCandidatesMax
+			}
+		}
+	}
+	if subspaceSpans == 0 {
+		t.Fatal("no subspace spans recorded")
+	}
+	if len(workers) == 0 || len(workers) > 4 {
+		t.Errorf("got %d worker lanes, want 1..4", len(workers))
+	}
+	if snap := st.Snapshot(); snap.SubspaceCandidatesMax != maxCand {
+		t.Errorf("SubspaceCandidatesMax = %d, want the span-tree max %d", snap.SubspaceCandidatesMax, maxCand)
+	}
+	if sk := tr.Skew(); sk == nil || sk.Workers != len(workers) {
+		t.Errorf("skew report = %+v, want %d workers", sk, len(workers))
+	}
+}

@@ -30,7 +30,9 @@ import (
 
 // SchemaVersion identifies the record layout. Bump it when a field
 // changes meaning; benchdiff refuses to compare across versions.
-const SchemaVersion = 1
+// Version 2: the work map gained subspace_candidates_max (a max-semantics
+// skew signal that WorkTotal excludes).
+const SchemaVersion = 2
 
 // Env pins the provenance of a benchmark session: where it ran and with
 // which workload knobs. Two BENCH files are only meaningfully comparable
@@ -199,10 +201,13 @@ func WorkMap(s stats.Snapshot) map[string]int64 {
 // "attr_sim_memo_" prefix) are excluded: memo hits measure cosines
 // *avoided*, not enumeration performed, and folding them in would report
 // phantom work against baselines recorded before the memo existed.
+// subspace_candidates_max is excluded for the same reason in a different
+// shape: it is a max over subspaces, not a sum of work, and its value is
+// already contained in the candidates counter.
 func WorkTotal(m map[string]int64) int64 {
 	var t int64
 	for name, v := range m {
-		if strings.HasPrefix(name, "attr_sim_memo_") {
+		if strings.HasPrefix(name, "attr_sim_memo_") || name == "subspace_candidates_max" {
 			continue
 		}
 		t += v

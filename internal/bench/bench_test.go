@@ -31,6 +31,7 @@ func goldenFile() *File {
 	st.AddSampledOut(110)
 	st.AddAttrSimMemoHits(640)
 	st.AddAttrSimMemoMisses(60)
+	st.RaiseSubspaceCandidates(700)
 	return &File{
 		SchemaVersion: SchemaVersion,
 		Env: Env{
@@ -152,8 +153,8 @@ func TestLatencyOf(t *testing.T) {
 
 func TestWorkMapCoversEveryCounter(t *testing.T) {
 	m := WorkMap(stats.Snapshot{})
-	if len(m) != 12 {
-		t.Errorf("WorkMap has %d keys, want 12 (schema stability: zero counters stay present)", len(m))
+	if len(m) != 13 {
+		t.Errorf("WorkMap has %d keys, want 13 (schema stability: zero counters stay present)", len(m))
 	}
 	if _, ok := m["candidates"]; !ok {
 		t.Error("WorkMap missing candidates")
@@ -164,6 +165,11 @@ func TestWorkMapCoversEveryCounter(t *testing.T) {
 	// cache telemetry must not count as work: hits measure cosines avoided
 	if got := WorkTotal(map[string]int64{"candidates": 10, "attr_sim_memo_hits": 500, "attr_sim_memo_misses": 50}); got != 10 {
 		t.Errorf("WorkTotal with memo counters = %d, want 10", got)
+	}
+	// Max-semantics counters are not work either: the max is a subset of
+	// the candidates sum and would double-count.
+	if got := WorkTotal(map[string]int64{"candidates": 10, "subspace_candidates_max": 7}); got != 10 {
+		t.Errorf("WorkTotal with subspace max = %d, want 10", got)
 	}
 }
 

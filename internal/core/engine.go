@@ -22,6 +22,7 @@ import (
 	"spatialseq/internal/geo"
 	"spatialseq/internal/obs"
 	"spatialseq/internal/obs/flight"
+	"spatialseq/internal/obs/span"
 	"spatialseq/internal/partition"
 	"spatialseq/internal/query"
 	"spatialseq/internal/stats"
@@ -102,6 +103,13 @@ type Options struct {
 	// default sequential path the phases are disjoint, so their sum is
 	// bounded by Result.Elapsed.
 	Trace *obs.Trace
+	// Spans, when non-nil, records the hierarchical span tree of the
+	// execution: per-goroutine worker timelines with per-subspace work
+	// deltas attached. It supersedes the flat Trace where both are set —
+	// phase timings are then derived from the tree (with parallel
+	// overlap marked) and slow queries retain the tree in their flight
+	// record for /debug/trace. Nil disables span tracing at no cost.
+	Spans *span.Tracer
 }
 
 // ResultTuple is one ranked answer: the matched objects (one per example
@@ -180,6 +188,12 @@ func (e *Engine) Search(ctx context.Context, q *query.Query, algo Algorithm, opt
 		K:         int32(q.Params.K),
 		Phases:    opt.Trace.Snapshot(),
 	}
+	// Span-derived phase timings supersede the flat trace: same names,
+	// but parallel overlap is marked instead of silently summed.
+	if p := opt.Spans.PhaseTimings(); p != nil {
+		rec.Phases = p
+	}
+	rec.Skew = opt.Spans.Skew()
 	if err == nil {
 		rec.LatencyNS = int64(res.Elapsed)
 		rec.Algorithm = res.Algorithm.String()
@@ -187,6 +201,9 @@ func (e *Engine) Search(ctx context.Context, q *query.Query, algo Algorithm, opt
 		rec.Work = res.Stats
 		if fr.WouldRetain(res.Elapsed) {
 			rec.Capture = CaptureQuery(e.ds, q, res.Algorithm)
+			// The tree snapshot allocates; WouldRetain gates it so fast
+			// queries never pay for a trace nobody will look at.
+			rec.Spans = opt.Spans.Snapshot()
 		}
 	} else {
 		rec.LatencyNS = int64(time.Since(start))
@@ -246,10 +263,14 @@ func (e *Engine) search(ctx context.Context, q *query.Query, algo Algorithm, opt
 	// inside the Elapsed window (phase sum <= Elapsed on the
 	// sequential path).
 	start := time.Now()
+	root := opt.Spans.Root("search")
 	sp := opt.Trace.Start("validate")
+	vsp := root.Child("validate")
 	verr := q.Validate(e.ds)
+	vsp.End()
 	sp.End()
 	if verr != nil {
+		root.End()
 		return nil, verr
 	}
 	if algo == Auto {
@@ -263,6 +284,8 @@ func (e *Engine) search(ctx context.Context, q *query.Query, algo Algorithm, opt
 	}
 	opt.HSP.Trace = opt.Trace
 	opt.LORA.Trace = opt.Trace
+	opt.HSP.Span = root
+	opt.LORA.Span = root
 	var (
 		entries []topk.Entry
 		err     error
@@ -270,17 +293,21 @@ func (e *Engine) search(ctx context.Context, q *query.Query, algo Algorithm, opt
 	switch algo {
 	case BruteForce:
 		sp = opt.Trace.Start("brute.search")
+		bsp := root.Child("brute.search")
 		entries = brute.Search(e.ds, q)
+		bsp.End()
 		sp.End()
 	case DFSPrune:
-		entries, err = dfsprune.SearchTraced(ctx, e.ds, q, st, opt.Trace)
+		entries, err = dfsprune.SearchObserved(ctx, e.ds, q, st, opt.Trace, root)
 	case HSP:
 		entries, err = hsp.Search(ctx, e.ds, e.pix, q, opt.HSP)
 	case LORA:
 		entries, err = lora.Search(ctx, e.ds, e.pix, q, opt.LORA)
 	default:
+		root.End()
 		return nil, fmt.Errorf("core: unsupported algorithm %v", algo)
 	}
+	root.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/obs/span"
+	"spatialseq/internal/query"
+	"spatialseq/internal/workload"
+)
+
+// SkewBaseline runs both families' workloads with hierarchical span
+// tracing under parallel subspace workers and prints the per-family
+// imbalance report: how unevenly the worker lanes are loaded, what share
+// of the wall time is irreducible critical path, how dominant the largest
+// subspace's candidate load is, and which subspace index stalls the tail
+// most often. These are the baseline numbers the work-stealing scheduler
+// of ROADMAP item 3 has to beat — a steal-enabled run must pull the
+// imbalance ratio toward 1 without moving the critical-path share.
+func SkewBaseline(ctx context.Context, w io.Writer, cfg Config) error {
+	// At least 4 lanes even on small hosts: on a single-core machine the
+	// workers time-share the CPU, so the imbalance ratio degrades to a
+	// work-distribution signal — still exactly what work stealing evens
+	// out — instead of a true parallel wall-time ratio.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	n := cfg.Sizes[0]
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	rp := &report{}
+	rp.printf(w, "Subspace skew baseline (%d workers, %d POIs, up to %d queries per cell)\n",
+		workers, n, cfg.QueryCount)
+	rp.println(tw, "family\talgo\tqueries\timb mean\timb max\tcrit-path\tmax-sub load\tstraggler (mode)")
+	for _, f := range []Family{Yelp, Gaode} {
+		data, err := familyDataset(f, n, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		queries, err := workload.Generate(data, familyWorkload(f, cfg))
+		if err != nil {
+			return err
+		}
+		eng := core.NewEngine(data)
+		for _, algo := range []core.Algorithm{core.HSP, core.LORA} {
+			agg, err := runSkew(ctx, eng, queries, algo, workers, cfg.Budget)
+			if err != nil {
+				return err
+			}
+			if agg.ran == 0 {
+				rp.printf(tw, "%s\t%s\t(no query finished within %s)\t\t\t\t\t\n", f, algo, cfg.Budget)
+				continue
+			}
+			rp.printf(tw, "%s\t%s\t%d\t%.2f\t%.2f\t%.1f%%\t%.1f%%\t%s\n",
+				f, algo, agg.ran,
+				agg.imbSum/float64(agg.skewed), agg.imbMax,
+				100*agg.critShareSum/float64(agg.skewed),
+				100*agg.maxSubShareSum/float64(agg.ran),
+				modeLabel(agg.stragglers))
+		}
+	}
+	return rp.flush(tw)
+}
+
+// skewAgg accumulates per-query skew reports for one (family, algorithm)
+// cell.
+type skewAgg struct {
+	ran            int     // queries completed
+	skewed         int     // queries that produced a skew report
+	imbSum, imbMax float64 // imbalance ratio
+	critShareSum   float64 // critical path / span extent
+	maxSubShareSum float64 // largest subspace's candidates / all candidates
+	stragglers     []int32 // straggler subspace per query
+}
+
+// runSkew runs queries under algo with a fresh span tracer each, until
+// the budget expires, and aggregates the skew reports.
+func runSkew(ctx context.Context, eng *core.Engine, queries []*query.Query, algo core.Algorithm, workers int, budget time.Duration) (skewAgg, error) {
+	deadline := time.Now().Add(budget)
+	var agg skewAgg
+	for _, q := range queries {
+		if time.Now().After(deadline) {
+			break
+		}
+		qctx, cancel := context.WithDeadline(ctx, deadline)
+		qq := *q
+		tr := span.NewTracer()
+		opt := core.Options{CollectStats: true, Spans: tr}
+		opt.HSP.Parallelism = workers
+		opt.LORA.Parallelism = workers
+		res, err := eng.Search(qctx, &qq, algo, opt)
+		cancel()
+		if err != nil {
+			if qctx.Err() != nil && ctx.Err() == nil {
+				break // budget exhausted mid-query; keep what we have
+			}
+			return agg, err
+		}
+		agg.ran++
+		if res.Stats.Candidates > 0 {
+			agg.maxSubShareSum += float64(res.Stats.SubspaceCandidatesMax) / float64(res.Stats.Candidates)
+		}
+		sk := tr.Skew()
+		if sk == nil {
+			continue
+		}
+		agg.skewed++
+		agg.imbSum += sk.ImbalanceRatio
+		if sk.ImbalanceRatio > agg.imbMax {
+			agg.imbMax = sk.ImbalanceRatio
+		}
+		if sk.SpanMS > 0 {
+			agg.critShareSum += sk.CriticalPathMS / sk.SpanMS
+		}
+		if sk.StragglerSubspace >= 0 {
+			agg.stragglers = append(agg.stragglers, sk.StragglerSubspace)
+		}
+	}
+	return agg, nil
+}
+
+// modeLabel returns "subspace xN" for the most frequent straggler
+// subspace (ties to the smallest index), or "-" when none was tagged.
+func modeLabel(ids []int32) string {
+	if len(ids) == 0 {
+		return "-"
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	best, bestCount := ids[0], 1
+	cur, count := ids[0], 1
+	for _, id := range ids[1:] {
+		if id == cur {
+			count++
+		} else {
+			cur, count = id, 1
+		}
+		if count > bestCount {
+			best, bestCount = cur, count
+		}
+	}
+	return fmt.Sprintf("#%d x%d", best, bestCount)
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"spatialseq/internal/obs/span"
 	"spatialseq/internal/stats"
 	"spatialseq/internal/vectormath"
 )
@@ -27,6 +28,50 @@ func mkRec(seqHint int, start, lat int64) Record {
 		M:         3,
 		K:         int32(seqHint),
 		Outcome:   OutcomeOK,
+	}
+}
+
+func TestFind(t *testing.T) {
+	r := New(Config{Floor: time.Nanosecond})
+	a := mkRec(1, 10, 100)
+	a.RequestID = "alpha"
+	r.Observe(&a)
+
+	tr := span.NewTracer()
+	root := tr.Root("search")
+	root.End()
+	b := mkRec(2, 20, 50)
+	b.RequestID = "dup"
+	b.Spans = tr.Snapshot()
+	r.Observe(&b)
+	c := mkRec(3, 30, 60) // reused ID, newer, but no span tree
+	c.RequestID = "dup"
+	r.Observe(&c)
+
+	got, ok := r.Find("alpha")
+	if !ok || got.RequestID != "alpha" {
+		t.Errorf("Find(alpha) = %+v, %v", got, ok)
+	}
+	got, ok = r.Find("dup")
+	if !ok || got.Spans == nil {
+		t.Errorf("Find(dup) should prefer the span-carrying record, got Spans=%v", got.Spans)
+	}
+	if _, ok := r.Find("missing"); ok {
+		t.Error("Find(missing) returned a record")
+	}
+	if _, ok := r.Find(""); ok {
+		t.Error("Find of empty ID returned a record")
+	}
+
+	// Same ID, neither with spans: the most recent record wins.
+	d := mkRec(4, 40, 10)
+	d.RequestID = "twice"
+	r.Observe(&d)
+	e := mkRec(5, 50, 10)
+	e.RequestID = "twice"
+	r.Observe(&e)
+	if got, ok := r.Find("twice"); !ok || got.Seq != e.Seq {
+		t.Errorf("Find(twice) = seq %d, want the newer %d", got.Seq, e.Seq)
 	}
 }
 
@@ -370,9 +415,9 @@ func TestReadCaptureFileRejects(t *testing.T) {
 		}
 		return p
 	}
-	badSchema := write("schema.json", CaptureFile{Schema: 2, Dataset: DatasetInfo{Kind: "file", Path: "x"}})
+	badSchema := write("schema.json", CaptureFile{Schema: CaptureSchemaVersion + 1, Dataset: DatasetInfo{Kind: "file", Path: "x"}})
 	if _, err := ReadCaptureFile(badSchema); err == nil {
-		t.Error("schema 2 accepted")
+		t.Error("foreign schema version accepted")
 	}
 	badKind := write("kind.json", CaptureFile{Schema: CaptureSchemaVersion, Dataset: DatasetInfo{Kind: "cloud"}})
 	if _, err := ReadCaptureFile(badKind); err == nil {

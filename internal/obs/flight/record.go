@@ -22,8 +22,9 @@
 // ones exactly.
 //
 // Like obs and stats, flight sits on the leaf band of the layer policy:
-// it imports only those two packages, so the engine and the server can
-// both feed it and a capture file stays loadable without either.
+// it imports only those, plus the sibling obs/span leaf (retained span
+// trees), so the engine and the server can both feed it and a capture
+// file stays loadable without either.
 package flight
 
 import (
@@ -33,6 +34,7 @@ import (
 	"os"
 
 	"spatialseq/internal/obs"
+	"spatialseq/internal/obs/span"
 	"spatialseq/internal/stats"
 )
 
@@ -94,6 +96,13 @@ type Record struct {
 	// Capture is the replayable query payload, attached only to queries
 	// the recorder decided to retain as slow (nil otherwise).
 	Capture *Capture `json:"capture,omitempty"`
+	// Spans is the hierarchical span tree of the execution, attached —
+	// like Capture — only to queries retained as slow (WouldRetain gates
+	// the snapshot allocation). It backs GET /debug/trace/{requestID}.
+	Spans *span.Tree `json:"spans,omitempty"`
+	// Skew is the per-query imbalance attribution derived from the span
+	// tree; nil when the query recorded no worker spans.
+	Skew *span.SkewReport `json:"skew,omitempty"`
 }
 
 // End returns the query end time in Unix nanoseconds — the instant the
@@ -152,8 +161,10 @@ type DatasetInfo struct {
 }
 
 // CaptureSchemaVersion identifies the capture-file layout. Bump it when
-// a field changes meaning; replay refuses other versions.
-const CaptureSchemaVersion = 1
+// a field changes meaning; replay refuses other versions. Version 2:
+// Record.Work gained the max-semantics subspace_candidates_max counter,
+// which participates in replay's exact work equality.
+const CaptureSchemaVersion = 2
 
 // CaptureFile is the export format of the flight recorder: dataset
 // provenance plus the retained records. Records without a Capture are

@@ -261,6 +261,37 @@ func (r *Recorder) Recent(max int) []Record {
 	return r.ring.recent(max)
 }
 
+// Find returns the retained record with the given request ID, searching
+// the tail-sampled slow queries first and the recent ring second. When
+// several records share the ID (a client reusing X-Request-ID), records
+// carrying a span tree win, then the most recent one — the record the
+// trace endpoint wants.
+func (r *Recorder) Find(requestID string) (Record, bool) {
+	if requestID == "" {
+		return Record{}, false
+	}
+	var best Record
+	found := false
+	better := func(rec *Record) bool {
+		if !found {
+			return true
+		}
+		if (rec.Spans != nil) != (best.Spans != nil) {
+			return rec.Spans != nil
+		}
+		return rec.Seq > best.Seq
+	}
+	for _, recs := range [][]Record{r.Slowest(), r.Recent(r.ringSize)} {
+		for i := range recs {
+			if recs[i].RequestID == requestID && better(&recs[i]) {
+				best = recs[i]
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
 // Slowest returns the tail-sampled records — the slowest KeepSlowest of
 // the current and previous windows — slowest first.
 func (r *Recorder) Slowest() []Record {

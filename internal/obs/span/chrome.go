@@ -1,0 +1,104 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// chrome://tracing and Perfetto load): "X" complete events carry a
+// start timestamp and duration in microseconds; "M" metadata events
+// name the threads. Timestamps are integer microseconds since the Unix
+// epoch — int64 keeps them exact where float64 nanoseconds would not.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// coordinatorTid is the track for spans outside any worker lane; worker
+// w maps to tid w+1.
+const coordinatorTid = 0
+
+// ChromeTrace renders the tree as Chrome trace-event JSON. Every span
+// becomes an "X" complete event on its worker's track (tid = worker+1,
+// untagged spans on the coordinator track), tagged with its subspace
+// index and work counters in args.
+func (tr *Tree) ChromeTrace() ([]byte, error) {
+	if tr == nil || len(tr.Nodes) == 0 {
+		return nil, fmt.Errorf("span: empty tree has no trace")
+	}
+	events := make([]chromeEvent, 0, len(tr.Nodes)+4)
+	seenTid := make(map[int]bool)
+	var tids []int
+	for _, n := range tr.Nodes {
+		tid := coordinatorTid
+		if n.Worker >= 0 {
+			tid = int(n.Worker) + 1
+		}
+		if !seenTid[tid] {
+			seenTid[tid] = true
+			tids = append(tids, tid)
+		}
+		ev := chromeEvent{
+			Name: n.Name,
+			Ph:   "X",
+			Ts:   (tr.StartUnixNS + n.StartNS) / 1000,
+			Dur:  float64(n.DurNS()) / 1000,
+			Pid:  1,
+			Tid:  tid,
+		}
+		if n.Subspace >= 0 || n.Work != nil {
+			ev.Args = make(map[string]any, 2)
+			if n.Subspace >= 0 {
+				ev.Args["subspace"] = n.Subspace
+			}
+			if n.Work != nil {
+				ev.Args["work"] = n.Work
+			}
+		}
+		events = append(events, ev)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		name := "coordinator"
+		if tid != coordinatorTid {
+			name = fmt.Sprintf("worker %d", tid-1)
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	out := chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"spans": len(tr.Nodes), "dropped": tr.Dropped},
+	}
+	return json.Marshal(out)
+}
+
+// WriteChromeTrace writes the Chrome trace-event JSON to w.
+func (tr *Tree) WriteChromeTrace(w io.Writer) error {
+	b, err := tr.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -23,7 +23,11 @@ const maxPhases = 64
 // its subspace workers in parallel, the recorded per-phase times sum
 // CPU time across workers and can exceed the query's wall time; on the
 // default sequential path the phase times are disjoint slices of the
-// wall clock and their sum is a lower bound on it.
+// wall clock and their sum is a lower bound on it. When hierarchical
+// span tracing is enabled (internal/obs/span), the engine derives the
+// flat aggregate from the span tree instead — overlapping same-named
+// spans then carry PhaseTiming.Parallel=true so a cross-worker CPU sum
+// is never mistaken for wall time.
 type Trace struct {
 	mu      sync.Mutex
 	phases  []phase
@@ -94,6 +98,12 @@ type PhaseTiming struct {
 	DurationMS float64 `json:"duration_ms"`
 	// Count is how many measurements were accumulated.
 	Count int64 `json:"count"`
+	// Parallel marks a phase whose measurements overlapped in time
+	// (parallel subspace workers): DurationMS then sums CPU time across
+	// workers and may exceed the query's wall time. Only span-derived
+	// timings can set it; a flat Trace cannot tell overlap from
+	// sequence.
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 // Snapshot copies the per-phase aggregates in first-recorded order. A

@@ -14,6 +14,9 @@
 //	                     (?format=html for a browsable page)
 //	GET  /debug/queries/capture  replayable capture of retained slow
 //	                     queries (feed to `seqbench -exp replay`)
+//	GET  /debug/trace/{requestID}  retained span tree of a slow query as
+//	                     Chrome trace-event JSON (chrome://tracing /
+//	                     Perfetto loadable; ?format=html for a timeline)
 //	GET  /debug/pprof/*  runtime profiles (only with Config.EnablePprof)
 //
 // Every request gets an X-Request-ID (a valid client-supplied one is
@@ -46,6 +49,7 @@ import (
 	"spatialseq/internal/geo"
 	"spatialseq/internal/obs"
 	"spatialseq/internal/obs/flight"
+	"spatialseq/internal/obs/span"
 	"spatialseq/internal/qcache"
 	"spatialseq/internal/query"
 	"spatialseq/internal/stats"
@@ -90,6 +94,9 @@ type Server struct {
 	latency       *obs.HistogramVec
 	work          *obs.CounterVec
 	phasesDropped obs.Counter
+	spansDropped  obs.Counter
+	imbalance     *obs.HistogramVec
+	critPath      *obs.HistogramVec
 
 	// idOnce guards the lazy one-time build of idIndex, the dataset's
 	// id -> position map used to resolve CSEQ-FP fixed_id references.
@@ -141,6 +148,14 @@ func NewWith(eng *core.Engine, cfg Config) *Server {
 		"Cumulative engine work counters, by stats.Snapshot field.", "counter")
 	s.phasesDropped = cfg.Metrics.Counter("spatialseq_trace_phases_dropped_total",
 		"Phase-trace additions discarded by the per-query phase bound (obs.Trace overflow).").With()
+	s.spansDropped = cfg.Metrics.Counter("spatialseq_spans_dropped_total",
+		"Spans discarded by the per-query span-tree bounds (node count or depth).").With()
+	s.imbalance = cfg.Metrics.Histogram("spatialseq_subspace_imbalance_ratio",
+		"Per-query worker imbalance: max worker busy time over mean (1.0 is perfectly balanced).",
+		[]float64{1, 1.1, 1.25, 1.5, 2, 3, 5, 10}, "algorithm")
+	s.critPath = cfg.Metrics.Histogram("spatialseq_span_critical_path_seconds",
+		"Per-query critical-path length from the span tree: the floor more parallelism cannot beat.",
+		nil, "algorithm")
 	rec := s.flight
 	cfg.Metrics.GaugeFunc("spatialseq_slow_query_threshold_seconds",
 		"Effective flight-recorder slow-query threshold (+Inf while the adaptive tracker warms up with no floor set).",
@@ -188,6 +203,7 @@ func NewWith(eng *core.Engine, cfg Config) *Server {
 	s.handle("/snap", http.MethodPost, s.handleSnap)
 	s.handle("/debug/queries", http.MethodGet, s.handleDebugQueries)
 	s.handle("/debug/queries/capture", http.MethodGet, s.handleDebugCapture)
+	s.handle("/debug/trace/", http.MethodGet, s.handleDebugTrace)
 	if cfg.EnablePprof {
 		// pprof handlers manage their own content types and streaming
 		// (the CPU profile blocks for its sampling window), so they mount
@@ -292,10 +308,14 @@ type ResultTuple struct {
 type SearchStats struct {
 	// Work is the engine's per-search counter snapshot.
 	Work stats.Snapshot `json:"work"`
-	// Phases is the wall time spent per search phase; on the sequential
-	// path the durations are disjoint, so they sum to at most
-	// elapsed_ms.
+	// Phases is the wall time spent per search phase, derived from the
+	// span tree: phases whose spans overlapped across parallel workers
+	// carry parallel=true (their durations sum CPU time, not wall
+	// time); unmarked phases are disjoint wall-clock slices.
 	Phases []obs.PhaseTiming `json:"phases"`
+	// Skew is the per-query imbalance attribution from the span tree;
+	// absent when the query recorded no worker spans.
+	Skew *span.SkewReport `json:"skew,omitempty"`
 }
 
 // SearchResponse is the /search response body.
@@ -398,10 +418,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.Timeout)
 	defer cancel()
-	// A trace is always attached so flight-recorder records carry the
-	// phase breakdown; on cache hits the engine never runs and the trace
-	// stays empty.
-	opt := core.Options{CollectStats: true, Trace: obs.NewTrace()}
+	// A trace and a span tracer are always attached so flight-recorder
+	// records carry the phase breakdown and slow queries retain their
+	// span tree; on cache hits the engine never runs and both stay
+	// empty.
+	opt := core.Options{CollectStats: true, Trace: obs.NewTrace(), Spans: span.NewTracer()}
 	var (
 		res    *core.Result
 		cached bool
@@ -415,6 +436,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		res, cached, err = s.cache.Search(ctx, s.eng, q, algo, opt)
 	}
 	s.phasesDropped.Add(float64(opt.Trace.Dropped()))
+	s.spansDropped.Add(float64(opt.Spans.Dropped()))
 	if err != nil {
 		status := http.StatusBadRequest
 		if ctx.Err() != nil {
@@ -439,6 +461,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		res.Stats.Each(func(name string, value int64) {
 			s.work.With(name).Add(float64(value))
 		})
+		if sk := opt.Spans.Skew(); sk != nil {
+			s.imbalance.With(res.Algorithm.String()).Observe(sk.ImbalanceRatio)
+			s.critPath.With(res.Algorithm.String()).Observe(sk.CriticalPathMS / 1e3)
+		}
 	} else {
 		// The engine emits flight records for its own runs; cache hits
 		// never reach it, so the server records them here.
@@ -454,7 +480,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.buildResponse(q, res)
 	if req.IncludeStats {
-		resp.Stats = &SearchStats{Work: res.Stats, Phases: opt.Trace.Snapshot()}
+		phases := opt.Trace.Snapshot()
+		// Span-derived timings supersede the flat trace: same phase
+		// names, with cross-worker overlap marked parallel instead of
+		// silently summed past wall time.
+		if p := opt.Spans.PhaseTimings(); p != nil {
+			phases = p
+		}
+		resp.Stats = &SearchStats{Work: res.Stats, Phases: phases, Skew: opt.Spans.Skew()}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -537,8 +570,8 @@ th{background:#eee}
 <h2>recent</h2>
 {{template "tbl" .Recent}}
 {{define "tbl"}}{{if .}}<table>
-<tr><th class=l>request</th><th>seq</th><th>latency ms</th><th class=l>algorithm</th><th class=l>variant</th><th>m</th><th>pins</th><th>k</th><th class=l>cache</th><th class=l>outcome</th><th class=l>capture</th></tr>
-{{range .}}<tr><td class=l>{{.RequestID}}</td><td>{{.Seq}}</td><td>{{printf "%.3f" .LatencyMS}}</td><td class=l>{{.Algorithm}}</td><td class=l>{{.Variant}}</td><td>{{.M}}</td><td>{{.Pins}}</td><td>{{.K}}</td><td class=l>{{if .CacheHit}}hit{{else}}miss{{end}}</td><td class=l>{{.Outcome}}</td><td class=l>{{if .Capture}}yes{{end}}</td></tr>
+<tr><th class=l>request</th><th>seq</th><th>latency ms</th><th class=l>algorithm</th><th class=l>variant</th><th>m</th><th>pins</th><th>k</th><th class=l>cache</th><th class=l>outcome</th><th class=l>capture</th><th>imbalance</th><th class=l>trace</th></tr>
+{{range .}}<tr><td class=l>{{.RequestID}}</td><td>{{.Seq}}</td><td>{{printf "%.3f" .LatencyMS}}</td><td class=l>{{.Algorithm}}</td><td class=l>{{.Variant}}</td><td>{{.M}}</td><td>{{.Pins}}</td><td>{{.K}}</td><td class=l>{{if .CacheHit}}hit{{else}}miss{{end}}</td><td class=l>{{.Outcome}}</td><td class=l>{{if .Capture}}yes{{end}}</td><td>{{if .Skew}}{{printf "%.2f" .Skew.ImbalanceRatio}}{{end}}</td><td class=l>{{if and .Spans .RequestID}}<a href="/debug/trace/{{.RequestID}}?format=html">trace</a>{{end}}</td></tr>
 {{end}}</table>{{else}}<p>(none)</p>{{end}}{{end}}
 </body></html>
 `))

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"spatialseq/internal/obs"
+	"spatialseq/internal/obs/flight"
+)
+
+// handleDebugTrace serves the retained span tree of one slow query. The
+// default (and "json"/"chrome") format is Chrome trace-event JSON that
+// chrome://tracing and Perfetto load directly; ?format=html renders a
+// dependency-free timeline for a quick look without leaving the browser.
+// Only queries the flight recorder retained as slow carry a span tree, so
+// unknown or fast request IDs 404.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if !obs.ValidRequestID(id) {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid request id %q", id)})
+		return
+	}
+	rec, ok := s.flight.Find(id)
+	if !ok || rec.Spans == nil {
+		s.writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("no retained span tree for request %q (only slow queries keep one)", id)})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json", "chrome":
+		data, err := rec.Spans.ChromeTrace()
+		if err != nil {
+			s.logWriteErr(r.Context(), err)
+			s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "trace encoding failed"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(data); err != nil {
+			s.logWriteErr(r.Context(), err)
+		}
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := tracePage.Execute(w, buildTracePage(&rec)); err != nil {
+			s.logWriteErr(r.Context(), err)
+		}
+	default:
+		s.writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("unknown format %q", r.URL.Query().Get("format"))})
+	}
+}
+
+// traceRow is one span flattened for the HTML timeline, in depth-first
+// order so nesting reads top to bottom.
+type traceRow struct {
+	Indent   int
+	Name     string
+	Worker   int32 // -1 for coordinator spans
+	Subspace int32 // -1 when the span is not subspace-tagged
+	StartMS  float64
+	DurMS    float64
+	// LeftPct/WidthPct place the bar on a 0-100% track spanning the
+	// whole query.
+	LeftPct  float64
+	WidthPct float64
+}
+
+// tracePageData feeds the tracePage template.
+type tracePageData struct {
+	RequestID string
+	Algorithm string
+	LatencyMS float64
+	Dropped   int64
+	Skew      *spanSkew
+	Rows      []traceRow
+}
+
+// spanSkew mirrors span.SkewReport for the template with pre-formatted
+// fields (html/template printf on float64 works, but keeping the shaping
+// in Go keeps the template readable).
+type spanSkew struct {
+	Workers           int
+	ImbalanceRatio    float64
+	StragglerWorker   int32
+	StragglerSubspace int32
+	CriticalPathMS    float64
+}
+
+// buildTracePage flattens rec.Spans depth-first into timeline rows.
+func buildTracePage(rec *flight.Record) tracePageData {
+	tr := rec.Spans
+	d := tracePageData{
+		RequestID: rec.RequestID,
+		Algorithm: rec.Algorithm,
+		LatencyMS: rec.LatencyMS(),
+		Dropped:   tr.Dropped,
+	}
+	if rec.Skew != nil {
+		d.Skew = &spanSkew{
+			Workers:           rec.Skew.Workers,
+			ImbalanceRatio:    rec.Skew.ImbalanceRatio,
+			StragglerWorker:   rec.Skew.StragglerWorker,
+			StragglerSubspace: rec.Skew.StragglerSubspace,
+			CriticalPathMS:    rec.Skew.CriticalPathMS,
+		}
+	}
+	// Children in arena order are already in open order; parent links
+	// rebuild the tree shape.
+	children := make([][]int, len(tr.Nodes))
+	var roots []int
+	minStart, maxEnd := int64(0), int64(0)
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if n.Parent < 0 {
+			roots = append(roots, i)
+		} else {
+			children[n.Parent] = append(children[n.Parent], i)
+		}
+		if i == 0 || n.StartNS < minStart {
+			minStart = n.StartNS
+		}
+		if n.EndNS > maxEnd {
+			maxEnd = n.EndNS
+		}
+	}
+	extent := maxEnd - minStart
+	if extent <= 0 {
+		extent = 1
+	}
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		n := &tr.Nodes[idx]
+		width := 100 * float64(n.EndNS-n.StartNS) / float64(extent)
+		if width < 0.1 {
+			width = 0.1 // keep sub-pixel spans visible
+		}
+		d.Rows = append(d.Rows, traceRow{
+			Indent:   depth,
+			Name:     n.Name,
+			Worker:   n.Worker,
+			Subspace: n.Subspace,
+			StartMS:  float64(n.StartNS-minStart) / 1e6,
+			DurMS:    float64(n.EndNS-n.StartNS) / 1e6,
+			LeftPct:  100 * float64(n.StartNS-minStart) / float64(extent),
+			WidthPct: width,
+		})
+		for _, c := range children[idx] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return d
+}
+
+// tracePage renders /debug/trace/{id}?format=html: an indented span list
+// with a proportional timeline bar per span.
+var tracePage = template.Must(template.New("trace").Funcs(template.FuncMap{
+	"indent": func(n int) string { return strings.Repeat("· ", n) },
+}).Parse(`<!doctype html>
+<html><head><title>spatialseq trace {{.RequestID}}</title>
+<style>
+body{font-family:ui-monospace,monospace;margin:1.5em}
+table{border-collapse:collapse;margin:0.5em 0;width:100%}
+td,th{border:1px solid #bbb;padding:2px 8px;text-align:right;white-space:nowrap}
+td.l,th.l{text-align:left}
+th{background:#eee}
+td.track{width:50%;position:relative;padding:2px 0}
+div.bar{height:0.9em;background:#4a90d9;border-radius:2px}
+span.pad{color:#bbb}
+</style></head><body>
+<h1>trace {{.RequestID}}</h1>
+<p>algorithm {{.Algorithm}} &middot; latency {{printf "%.3f" .LatencyMS}} ms{{if .Skew}} &middot; workers {{.Skew.Workers}} &middot; imbalance {{printf "%.2f" .Skew.ImbalanceRatio}} &middot; straggler worker {{.Skew.StragglerWorker}}{{if ge .Skew.StragglerSubspace 0}} (subspace {{.Skew.StragglerSubspace}}){{end}} &middot; critical path {{printf "%.3f" .Skew.CriticalPathMS}} ms{{end}}{{if .Dropped}} &middot; {{.Dropped}} spans dropped{{end}}</p>
+<p><a href="/debug/trace/{{.RequestID}}">chrome trace JSON</a> (load in chrome://tracing or <a href="https://ui.perfetto.dev">Perfetto</a>) &middot; <a href="/debug/queries?format=html">flight recorder</a></p>
+<table>
+<tr><th class=l>span</th><th>worker</th><th>subspace</th><th>start ms</th><th>dur ms</th><th class=l>timeline</th></tr>
+{{range .Rows}}<tr><td class=l><span class=pad>{{indent .Indent}}</span>{{.Name}}</td><td>{{if ge .Worker 0}}{{.Worker}}{{end}}</td><td>{{if ge .Subspace 0}}{{.Subspace}}{{end}}</td><td>{{printf "%.3f" .StartMS}}</td><td>{{printf "%.3f" .DurMS}}</td><td class=track><div class=bar style="margin-left:{{printf "%.2f" .LeftPct}}%;width:{{printf "%.2f" .WidthPct}}%"></div></td></tr>
+{{end}}</table>
+</body></html>
+`))

@@ -42,6 +42,12 @@ type Stats struct {
 	// AttrSimMemoMisses counts attribute cosines actually computed while
 	// the memo was enabled (lazy fills plus eager precompute).
 	AttrSimMemoMisses atomic.Int64
+	// SubspaceCandidatesMax tracks the largest per-subspace candidate
+	// volume of the query — a max, not a sum: it measures how lopsided
+	// the subspace decomposition was, the load-skew signal behind the
+	// span tracer's straggler attribution. Data-determined (independent
+	// of worker scheduling), so replay equality holds under parallelism.
+	SubspaceCandidatesMax atomic.Int64
 }
 
 // nil-safe increment helpers; algorithms call these unconditionally.
@@ -130,6 +136,21 @@ func (s *Stats) AddAttrSimMemoMisses(n int64) {
 	}
 }
 
+// RaiseSubspaceCandidates raises the per-subspace candidate maximum to
+// n if n exceeds the current value (CAS loop: parallel subspace workers
+// race to publish their totals).
+func (s *Stats) RaiseSubspaceCandidates(n int64) {
+	if s == nil {
+		return
+	}
+	for {
+		cur := s.SubspaceCandidatesMax.Load()
+		if n <= cur || s.SubspaceCandidatesMax.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Snapshot is a plain-value copy for reporting. The JSON tags are the
 // wire names the search API uses; Each exposes the same names to the
 // server's cumulative work metrics, so evaluation counters and
@@ -150,6 +171,10 @@ type Snapshot struct {
 	// "attr_sim_memo_" prefix for exactly that reason.
 	AttrSimMemoHits   int64 `json:"attr_sim_memo_hits"`
 	AttrSimMemoMisses int64 `json:"attr_sim_memo_misses"`
+	// SubspaceCandidatesMax is a max, not a sum (the largest single
+	// subspace's candidate volume); Add takes the larger of the two and
+	// bench.WorkTotal excludes it from work sums by name.
+	SubspaceCandidatesMax int64 `json:"subspace_candidates_max"`
 }
 
 // Each calls f with every counter's snake_case name and value, in
@@ -168,10 +193,14 @@ func (s Snapshot) Each(f func(name string, value int64)) {
 	f("sampled_out", s.SampledOut)
 	f("attr_sim_memo_hits", s.AttrSimMemoHits)
 	f("attr_sim_memo_misses", s.AttrSimMemoMisses)
+	f("subspace_candidates_max", s.SubspaceCandidatesMax)
 }
 
-// Add returns the field-wise sum of s and o. The evaluation harness uses
-// it to accumulate per-query snapshots into a per-run work total.
+// Add returns the field-wise sum of s and o — except
+// SubspaceCandidatesMax, which keeps max semantics (the accumulated
+// value is the worst single subspace seen, not a meaningless sum of
+// maxima). The evaluation harness uses Add to accumulate per-query
+// snapshots into a per-run work total.
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.Subspaces += o.Subspaces
 	s.SubspacesSkipped += o.SubspacesSkipped
@@ -185,6 +214,9 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.SampledOut += o.SampledOut
 	s.AttrSimMemoHits += o.AttrSimMemoHits
 	s.AttrSimMemoMisses += o.AttrSimMemoMisses
+	if o.SubspaceCandidatesMax > s.SubspaceCandidatesMax {
+		s.SubspaceCandidatesMax = o.SubspaceCandidatesMax
+	}
 	return s
 }
 
@@ -194,17 +226,18 @@ func (s *Stats) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	return Snapshot{
-		Subspaces:          s.Subspaces.Load(),
-		SubspacesSkipped:   s.SubspacesSkipped.Load(),
-		Candidates:         s.Candidates.Load(),
-		PrunedPrefixes:     s.PrunedPrefixes.Load(),
-		Tuples:             s.Tuples.Load(),
-		Offered:            s.Offered.Load(),
-		CellTuples:         s.CellTuples.Load(),
-		PrunedCellPrefixes: s.PrunedCellPrefixes.Load(),
-		RankPops:           s.RankPops.Load(),
-		SampledOut:         s.SampledOut.Load(),
-		AttrSimMemoHits:    s.AttrSimMemoHits.Load(),
-		AttrSimMemoMisses:  s.AttrSimMemoMisses.Load(),
+		Subspaces:             s.Subspaces.Load(),
+		SubspacesSkipped:      s.SubspacesSkipped.Load(),
+		Candidates:            s.Candidates.Load(),
+		PrunedPrefixes:        s.PrunedPrefixes.Load(),
+		Tuples:                s.Tuples.Load(),
+		Offered:               s.Offered.Load(),
+		CellTuples:            s.CellTuples.Load(),
+		PrunedCellPrefixes:    s.PrunedCellPrefixes.Load(),
+		RankPops:              s.RankPops.Load(),
+		SampledOut:            s.SampledOut.Load(),
+		AttrSimMemoHits:       s.AttrSimMemoHits.Load(),
+		AttrSimMemoMisses:     s.AttrSimMemoMisses.Load(),
+		SubspaceCandidatesMax: s.SubspaceCandidatesMax.Load(),
 	}
 }

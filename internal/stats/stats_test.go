@@ -19,19 +19,44 @@ func TestSnapshotAdd(t *testing.T) {
 		t.Errorf("Add = %+v", sum)
 	}
 	// Add must cover every counter Each exposes: the field-wise sum of a
-	// snapshot with itself doubles every named value.
+	// snapshot with itself doubles every named value — except the
+	// documented max-semantics counter, which Add keeps unchanged.
 	doubled := a.Add(a)
 	i := 0
 	av := make(map[string]int64)
 	a.Each(func(name string, v int64) { av[name] = v })
 	doubled.Each(func(name string, v int64) {
-		if v != 2*av[name] {
-			t.Errorf("counter %s: Add(a,a) = %d, want %d", name, v, 2*av[name])
+		want := 2 * av[name]
+		if name == "subspace_candidates_max" {
+			want = av[name]
+		}
+		if v != want {
+			t.Errorf("counter %s: Add(a,a) = %d, want %d", name, v, want)
 		}
 		i++
 	})
-	if i != 12 {
-		t.Errorf("Each visited %d counters, want 12", i)
+	if i != 13 {
+		t.Errorf("Each visited %d counters, want 13", i)
+	}
+}
+
+func TestSubspaceCandidatesMax(t *testing.T) {
+	var s Stats
+	s.RaiseSubspaceCandidates(10)
+	s.RaiseSubspaceCandidates(4) // lower value must not win
+	s.RaiseSubspaceCandidates(25)
+	if got := s.Snapshot().SubspaceCandidatesMax; got != 25 {
+		t.Errorf("SubspaceCandidatesMax = %d, want 25", got)
+	}
+	var nilStats *Stats
+	nilStats.RaiseSubspaceCandidates(99) // nil-safe no-op
+	a := Snapshot{SubspaceCandidatesMax: 7}
+	b := Snapshot{SubspaceCandidatesMax: 12}
+	if got := a.Add(b).SubspaceCandidatesMax; got != 12 {
+		t.Errorf("Add max = %d, want 12 (max, not sum)", got)
+	}
+	if got := b.Add(a).SubspaceCandidatesMax; got != 12 {
+		t.Errorf("Add max (reversed) = %d, want 12", got)
 	}
 }
 

@@ -65,7 +65,7 @@ grep -q '^spatialseq_http_requests_total' "$workdir/body" || {
     echo "smoke: /metrics misses spatialseq_http_requests_total" >&2
     exit 1
 }
-probe search 200 -X POST -H 'Content-Type: application/json' -d '{
+probe search 200 -D "$workdir/headers" -X POST -H 'Content-Type: application/json' -d '{
     "k": 2, "beta": 5,
     "example": [
         {"x": 10, "y": 10, "category": "gaode-cat-0000"},
@@ -75,6 +75,90 @@ probe search 200 -X POST -H 'Content-Type: application/json' -d '{
 grep -q '"results"' "$workdir/body" || {
     echo "smoke: /search body carries no results field" >&2
     cat "$workdir/body" >&2
+    exit 1
+}
+
+# The query above is "slow" (1ns threshold), so its span tree is retained:
+# /debug/trace/{id} must serve well-formed Chrome trace-event JSON for the
+# request ID the search response was stamped with.
+request_id=$(tr -d '\r' <"$workdir/headers" | sed -n 's/^[Xx]-[Rr]equest-[Ii][Dd]: //p' | head -n1)
+if [ -z "$request_id" ]; then
+    echo "smoke: /search response carried no X-Request-ID" >&2
+    cat "$workdir/headers" >&2
+    exit 1
+fi
+probe debug-trace 200 "http://$addr/debug/trace/$request_id"
+cp "$workdir/body" "$workdir/trace.json"
+cat >"$workdir/validate_trace.go" <<'EOF'
+// Standalone Chrome trace-event validator for smoke.sh: reads a trace
+// JSON file and exits non-zero unless it is loadable timeline data with
+// at least one subspace span.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		fmt.Fprintln(os.Stderr, "trace is not valid JSON:", err)
+		os.Exit(1)
+	}
+	if len(tr.TraceEvents) == 0 || tr.DisplayTimeUnit != "ms" {
+		fmt.Fprintf(os.Stderr, "malformed trace: %d events, unit %q\n", len(tr.TraceEvents), tr.DisplayTimeUnit)
+		os.Exit(1)
+	}
+	var complete, threadNames, subspaces int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Ts <= 0 || ev.Pid != 1 {
+				fmt.Fprintf(os.Stderr, "bad complete event: %+v\n", ev)
+				os.Exit(1)
+			}
+			if _, ok := ev.Args["subspace"]; ok {
+				subspaces++
+			}
+		case "M":
+			threadNames++
+		default:
+			fmt.Fprintf(os.Stderr, "unexpected event phase %q\n", ev.Ph)
+			os.Exit(1)
+		}
+	}
+	if complete == 0 || threadNames == 0 || subspaces == 0 {
+		fmt.Fprintf(os.Stderr, "trace misses spans: %d X, %d M, %d subspace-tagged\n", complete, threadNames, subspaces)
+		os.Exit(1)
+	}
+	fmt.Printf("trace ok: %d spans, %d subspace-tagged, %d tracks\n", complete, subspaces, threadNames)
+}
+EOF
+go run "$workdir/validate_trace.go" "$workdir/trace.json" || {
+    echo "smoke: /debug/trace/$request_id is not a loadable Chrome trace" >&2
+    head -c 500 "$workdir/trace.json" >&2
+    exit 1
+}
+probe debug-trace-html 200 "http://$addr/debug/trace/$request_id?format=html"
+grep -q "trace $request_id" "$workdir/body" || {
+    echo "smoke: /debug/trace html page is not the timeline" >&2
     exit 1
 }
 
@@ -93,6 +177,14 @@ grep -q 'query flight recorder' "$workdir/body" || {
 probe metrics-flight 200 "http://$addr/metrics"
 grep -q '^spatialseq_slow_query_threshold_seconds' "$workdir/body" || {
     echo "smoke: /metrics misses spatialseq_slow_query_threshold_seconds" >&2
+    exit 1
+}
+grep -q '^spatialseq_subspace_imbalance_ratio_count' "$workdir/body" || {
+    echo "smoke: /metrics misses spatialseq_subspace_imbalance_ratio" >&2
+    exit 1
+}
+grep -q '^spatialseq_spans_dropped_total' "$workdir/body" || {
+    echo "smoke: /metrics misses spatialseq_spans_dropped_total" >&2
     exit 1
 }
 
