@@ -11,7 +11,9 @@
 // counter, and similarity deltas; a series regresses when p50 or p99
 // latency or the total work counters grow beyond the noise threshold,
 // when average similarity drops beyond it, when fewer queries complete,
-// or when the new run times out where the old one did not. Work counters
+// when the new run times out where the old one did not, or when a gauge
+// carried by both sides (e.g. the skew experiment's worker imbalance
+// ratio) grows beyond the threshold plus an absolute slack. Work counters
 // are deterministic for a fixed seed, so their drift is a real behavior
 // change, not measurement noise — latency deltas on small workloads are
 // noisy, which is why the threshold defaults to 20%.
@@ -189,6 +191,30 @@ func compare(d *diff, threshold float64) {
 			regressed = true
 			d.notes = append(d.notes, fmt.Sprintf("work counter %s %d -> %d (%+.1f%%)", k, ov, nv, delta*100))
 		}
+	}
+	// Gauge drill-down: derived float metrics (imbalance ratios, load
+	// shares). Compared only when both sides carry the gauge — gauges are
+	// additive, so old baselines may simply predate one. Gauges mix
+	// deterministic ratios with timing-derived shares, so beyond the
+	// relative threshold a small absolute slack absorbs scheduling noise
+	// around tiny values (an imbalance of 1.00 -> 1.21 is within the
+	// slack; 2.50 -> 3.10 is a real regression).
+	const gaugeSlack = 0.25
+	gkeys := make([]string, 0, len(d.old.Gauges))
+	for k := range d.old.Gauges {
+		if _, ok := d.new.Gauges[k]; ok {
+			gkeys = append(gkeys, k)
+		}
+	}
+	sort.Strings(gkeys)
+	for _, k := range gkeys {
+		ov, nv := d.old.Gauges[k], d.new.Gauges[k]
+		delta, ok := relDelta(ov, nv)
+		if !ok || delta <= threshold || nv-ov <= gaugeSlack {
+			continue
+		}
+		regressed = true
+		d.notes = append(d.notes, fmt.Sprintf("gauge %s %.3f -> %.3f (%+.1f%%)", k, ov, nv, delta*100))
 	}
 	if d.new.Completed < d.old.Completed {
 		regressed = true

@@ -57,6 +57,11 @@ type experiment struct {
 // therefore excluded from "-exp all".
 func (e experiment) needsInput() bool { return e.name == "replay" }
 
+// heavy marks experiments whose resource footprint (gigabytes of
+// memory, minutes of generation time) makes them opt-in: they run only
+// when selected by name, never under "-exp all".
+func (e experiment) heavy() bool { return e.name == "scale10m" }
+
 func experiments() []experiment {
 	return []experiment{
 		{"table2-yelp", "Table II, Yelp-like scaling", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
@@ -104,6 +109,9 @@ func experiments() []experiment {
 		{"phases", "per-phase wall-time breakdown (obs.Trace)", single(eval.PhaseBreakdown)},
 		{"skew", "subspace-imbalance baseline from span tracing (parallel workers)", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
 			return eval.SkewBaseline(ctx, w, cfg)
+		}},
+		{"scale10m", "10M-POI Gaode-like load-and-answer smoke (heavy; not in 'all')", func(ctx context.Context, w io.Writer, cfg eval.Config) error {
+			return eval.Scale10M(ctx, w, cfg)
 		}},
 		{"ablation-partition", "A1: HSP partitioning on/off", single(eval.AblationPartition)},
 		{"ablation-bounds", "A4: HSP refined vs loose bounds", single(eval.AblationBounds)},
@@ -236,11 +244,12 @@ func selectExperiments(exps []experiment, names string) ([]experiment, error) {
 			continue
 		}
 		if name == "all" {
-			// "all" means the self-contained suite; experiments that need
-			// an input file (replay) must be selected explicitly.
+			// "all" means the self-contained affordable suite; experiments
+			// that need an input file (replay) or a heavyweight corpus
+			// (scale10m) must be selected explicitly.
 			var out []experiment
 			for _, e := range exps {
-				if !e.needsInput() {
+				if !e.needsInput() && !e.heavy() {
 					out = append(out, e)
 				}
 			}

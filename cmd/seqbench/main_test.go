@@ -126,15 +126,15 @@ func TestSelectExperiments(t *testing.T) {
 		t.Errorf("selectExperiments = %v, want [table3 table2-gaode] (order kept, dup dropped)", names)
 	}
 	// "all" selects the whole self-contained suite; experiments needing
-	// an input file (replay) stay out.
+	// an input file (replay) and heavy ones (scale10m) stay out.
 	wantAll := 0
 	for _, e := range exps {
-		if !e.needsInput() {
+		if !e.needsInput() && !e.heavy() {
 			wantAll++
 		}
 	}
 	if wantAll == len(exps) {
-		t.Fatal("expected at least one input-requiring experiment (replay)")
+		t.Fatal("expected at least one input-requiring or heavy experiment")
 	}
 	all, err := selectExperiments(exps, "table3,all")
 	if err != nil || len(all) != wantAll {
@@ -143,6 +143,9 @@ func TestSelectExperiments(t *testing.T) {
 	for _, e := range all {
 		if e.needsInput() {
 			t.Errorf("'all' selected input-requiring experiment %s", e.name)
+		}
+		if e.heavy() {
+			t.Errorf("'all' selected heavy experiment %s", e.name)
 		}
 	}
 	if _, err := selectExperiments(exps, "table3,zzz"); err == nil {

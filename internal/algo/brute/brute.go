@@ -3,14 +3,29 @@
 // It exists as the correctness oracle for tests and as the naive lower
 // baseline in ablation benchmarks; it is exponential in the tuple size and
 // must only run on small datasets.
+//
+// Leaf scoring is blocked: complete tuples are staged and flushed
+// through the batched distance/attribute kernels
+// (simil.Context.DistVectorsOfPositions, AttrSimBatch) a block at a
+// time. Brute is the one enumerator where batching leaves is profitable
+// — there is no pruning bound between tuples, so every staged tuple is
+// scored anyway (HSP/LORA check bounds per candidate, where computing
+// distances ahead of the bound would be wasted work). Results are
+// unchanged: offers happen in enumeration order with bit-identical
+// scores, and the top-k tie-break is order-independent besides.
 package brute
 
 import (
 	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
 	"spatialseq/internal/query"
 	"spatialseq/internal/simil"
 	"spatialseq/internal/topk"
 )
+
+// bruteBlock is how many complete tuples are staged before a batched
+// scoring flush.
+const bruteBlock = 128
 
 // Search enumerates all tuples and returns the exact top-k. The query must
 // be validated.
@@ -27,11 +42,55 @@ func Search(ds *dataset.Dataset, q *query.Query) []topk.Entry {
 	}
 	heap := topk.New(q.Params.K)
 	tuple := make([]int32, m)
+	staged := make([]int32, 0, bruteBlock*m)
+	dists := make([]float64, 0, bruteBlock*ctx.Pairs)
+	posCol := make([]int32, bruteBlock)
+	simCols := make([][]float64, m)
+	for d := range simCols {
+		simCols[d] = make([]float64, bruteBlock)
+	}
+	attr := make([]float64, m)
+
+	flush := func() {
+		rows := len(staged) / m
+		if rows == 0 {
+			return
+		}
+		dists = ctx.DistVectorsOfPositions(staged, m, dists)
+		for d := 0; d < m; d++ {
+			for r := 0; r < rows; r++ {
+				posCol[r] = staged[r*m+d]
+			}
+			ctx.AttrSimBatch(d, posCol[:rows], simCols[d][:rows])
+		}
+		for r := 0; r < rows; r++ {
+			y := dists[r*ctx.Pairs : (r+1)*ctx.Pairs]
+			if !ctx.NormOK(geo.Norm(y)) {
+				continue
+			}
+			for d := 0; d < m; d++ {
+				attr[d] = simCols[d][r]
+			}
+			heap.Offer(staged[r*m:r*m+m], ctx.TupleSim(y, attr))
+		}
+		staged = staged[:0]
+	}
+
 	var rec func(d int)
 	rec = func(d int) {
 		if d == m {
-			if sim, ok := ctx.SimOfPositions(tuple); ok {
-				heap.Offer(tuple, sim)
+			// duplicate-object tuples are invalid (SimOfPositions'
+			// first check); skip them before staging
+			for i := 0; i < m; i++ {
+				for j := i + 1; j < m; j++ {
+					if tuple[i] == tuple[j] {
+						return
+					}
+				}
+			}
+			staged = append(staged, tuple...)
+			if len(staged) == bruteBlock*m {
+				flush()
 			}
 			return
 		}
@@ -41,5 +100,6 @@ func Search(ds *dataset.Dataset, q *query.Query) []topk.Entry {
 		}
 	}
 	rec(0)
+	flush()
 	return heap.Results()
 }

@@ -20,9 +20,9 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"spatialseq/internal/algo/sched"
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/obs"
 	"spatialseq/internal/obs/span"
@@ -32,6 +32,11 @@ import (
 	"spatialseq/internal/stats"
 	"spatialseq/internal/topk"
 )
+
+// hspMinChunk floors the auto-sized steal chunks: below ~16 root
+// candidates per unit the scheduler round-trip costs more than the DFS
+// subtree it hands out.
+const hspMinChunk = 16
 
 // Options tune implementation details; the zero value is the paper's HSP.
 type Options struct {
@@ -48,11 +53,18 @@ type Options struct {
 	// abandoned instead of just the subtree. Off by default for fidelity
 	// to Algorithm 1 (ablation A5 measures the gain).
 	SortedBreak bool
-	// Parallelism spreads the independent ac-subspace searches over this
-	// many goroutines sharing one concurrent top-k (exactness is
-	// unaffected: a stale pruning threshold only admits extra
-	// candidates). <= 1 searches sequentially; negative uses GOMAXPROCS.
+	// Parallelism spreads the search over this many goroutines sharing
+	// one concurrent top-k (exactness is unaffected: a stale pruning
+	// threshold only admits extra candidates, and the tie-break is
+	// order-independent). The unit of parallel work is smaller than a
+	// subspace: prepared subspaces are split into dim-0 candidate chunks
+	// workers steal from a shared scheduler, so one fat subspace no
+	// longer caps speedup. <= 1 searches sequentially; negative uses
+	// GOMAXPROCS.
 	Parallelism int
+	// Steal tunes the work-unit scheduler of the parallel path (chunk
+	// sizing of the stolen dim-0 ranges). The zero value auto-sizes.
+	Steal sched.Tuning
 	// Stats, when non-nil, collects per-search counters (subspaces,
 	// candidates, pruned prefixes, scored tuples).
 	Stats *stats.Stats
@@ -61,9 +73,12 @@ type Options struct {
 	// the phase times sum across workers and can exceed wall time.
 	Trace *obs.Trace
 	// Span, when live, is the parent span the search nests its
-	// hierarchical timeline under: one worker span per goroutine, one
-	// subspace span per searched subspace, with the per-subspace work
-	// counters attached. The zero Span disables span tracing at no cost.
+	// hierarchical timeline under. The sequential path opens one worker
+	// lane with a subspace span per searched subspace; the parallel path
+	// opens one "hsp.prep" / "hsp.chunk" unit span per stolen work unit,
+	// each tagged with both its worker lane and owning subspace and
+	// carrying that unit's work-counter delta. The zero Span disables
+	// span tracing at no cost.
 	Span span.Span
 }
 
@@ -104,9 +119,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(work) {
-		workers = len(work)
-	}
+	// Workers are deliberately not capped at len(work): chunked stealing
+	// lets several workers share one subspace's DFS root level, so even a
+	// single-subspace query (DisablePartition, or a pinned dim 0)
+	// parallelizes.
 	// With more than one subspace the overlapping ac-regions revisit the
 	// same (dimension, object) pairs, so memoize the attribute cosines:
 	// lazily on the sequential path, eagerly (read-only, worker-safe) when
@@ -146,31 +162,41 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	}
 
 	sink := topk.NewConcurrent(q.Params.K)
+	tun := opt.Steal
+	if tun.MinChunk <= 0 {
+		tun.MinChunk = hspMinChunk
+	}
+	run := &stealRun{
+		sch:   sched.New(len(work), workers, tun),
+		work:  work,
+		preps: make([]*prepState, len(work)),
+	}
 	var (
-		next    atomic.Int64
 		wg      sync.WaitGroup
-		stop    atomic.Bool
 		errOnce sync.Once
 		callErr error
 	)
 	record := func(err error) {
 		errOnce.Do(func() { callErr = err })
-		stop.Store(true)
+		run.sch.Abort()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws := opt.Span.Worker("hsp.worker", w)
-			defer ws.End()
 			s := newSearcher(ctx, sctx, sink, opt)
-			for !stop.Load() {
-				i := next.Add(1) - 1
-				if int(i) >= len(work) {
+			for {
+				u, ok := run.sch.Acquire()
+				if !ok {
 					return
 				}
-				sub := ws.Subspace("hsp.subspace", int(i))
-				if err := s.searchSubspace(ds, q, work[i], sub); err != nil {
+				var err error
+				if u.Prep {
+					err = s.prepUnit(ds, q, run, u.Sub, w, opt.Span)
+				} else {
+					err = s.chunkUnit(run, u, w, opt.Span)
+				}
+				if err != nil {
 					record(err)
 					return
 				}
@@ -187,6 +213,120 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	msp.End()
 	sp.End()
 	return res, nil
+}
+
+// stealRun is the shared state of one parallel stealing search: the
+// work-unit scheduler, the prepared-subspace handoff slots, and a small
+// recycling pool of prep states (bounded by the worker count, because
+// the scheduler drains queued chunks before starting new preps).
+// preps[i] is written by the preparing worker before Publish and read
+// by chunk workers after Acquire; the scheduler's lock orders the two.
+type stealRun struct {
+	sch   *sched.Scheduler
+	work  []*partition.Subspace
+	preps []*prepState
+
+	mu   sync.Mutex
+	pool []*prepState
+}
+
+func (r *stealRun) take() *prepState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.pool); n > 0 {
+		p := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		return p
+	}
+	return new(prepState)
+}
+
+func (r *stealRun) put(p *prepState) {
+	r.mu.Lock()
+	r.pool = append(r.pool, p)
+	r.mu.Unlock()
+}
+
+// prepUnit prepares one subspace — exactly once per subspace, keeping
+// the Lemma-1 discipline — and publishes its dim-0 candidate range to
+// the scheduler as steal-able chunks. The prep span carries the
+// subspace-level work delta (candidate volume, skip marks, memo hits);
+// enumeration counters land on the chunk spans.
+func (s *searcher) prepUnit(ds *dataset.Dataset, q *query.Query, run *stealRun, sub, w int, parent span.Span) error {
+	s.local = localCounters{}
+	var t0 time.Time
+	if s.tr != nil {
+		t0 = time.Now()
+	}
+	p := run.take()
+	sp := parent.Unit("hsp.prep", w, sub)
+	skip, err := s.prepareInto(p, ds, q, run.work[sub])
+	if s.tr != nil {
+		s.tr.Add("hsp.candidates", time.Since(t0))
+	}
+	if err != nil || skip {
+		if skip {
+			s.st.AddSubspacesSkipped(1)
+			sp.EndWork(stats.Snapshot{SubspacesSkipped: 1, AttrSimMemoHits: s.local.memoHits})
+		} else {
+			sp.End()
+		}
+		s.st.AddAttrSimMemoHits(s.local.memoHits)
+		run.sch.Publish(sub, 0)
+		run.put(p)
+		return err
+	}
+	s.st.AddSubspaces(1)
+	s.st.AddCandidates(p.candTotal)
+	s.st.RaiseSubspaceCandidates(p.candTotal)
+	s.st.AddAttrSimMemoHits(s.local.memoHits)
+	sp.EndWork(stats.Snapshot{
+		Subspaces:             1,
+		Candidates:            p.candTotal,
+		AttrSimMemoHits:       s.local.memoHits,
+		SubspaceCandidatesMax: p.candTotal,
+	})
+	run.preps[sub] = p
+	if run.sch.Publish(sub, len(p.cands[0])) == 0 {
+		// Aborted before any chunk was queued: no Done will follow, so
+		// reclaim the prepared state here.
+		run.preps[sub] = nil
+		run.put(p)
+	}
+	return nil
+}
+
+// chunkUnit runs Exact-DFS over one stolen chunk: the dim-0 candidate
+// range [u.Lo, u.Hi) of an already-prepared subspace. The chunk span
+// carries the enumeration work delta, attributed to the owning
+// subspace, so Tree.Skew keeps measuring per-lane busy time and the
+// straggler attribution keeps naming the heaviest subspace.
+func (s *searcher) chunkUnit(run *stealRun, u sched.Unit, w int, parent span.Span) error {
+	p := run.preps[u.Sub]
+	s.local = localCounters{}
+	var t0 time.Time
+	if s.tr != nil {
+		t0 = time.Now()
+	}
+	sp := parent.Unit("hsp.chunk", w, u.Sub)
+	s.attach(p)
+	err := s.dfs(0, 0, u.Lo, u.Hi)
+	if s.tr != nil {
+		s.tr.Add("hsp.dfs", time.Since(t0))
+	}
+	s.st.AddPrunedPrefixes(s.local.pruned)
+	s.st.AddTuples(s.local.tuples)
+	s.st.AddOffered(s.local.offered)
+	sp.EndWork(stats.Snapshot{
+		PrunedPrefixes: s.local.pruned,
+		Tuples:         s.local.tuples,
+		Offered:        s.local.offered,
+	})
+	if run.sch.Done(u.Sub) {
+		run.preps[u.Sub] = nil
+		run.put(p)
+	}
+	return err
 }
 
 func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, opt Options) *searcher {
@@ -206,9 +346,10 @@ func newSearcher(ctx context.Context, sctx *simil.Context, sink topk.Sink, opt O
 	}
 }
 
-// searchSubspace prepares and runs Exact-DFS over one subspace. The sub
-// span (a no-op when span tracing is off) is closed on every return
-// path, carrying this subspace's work-counter delta.
+// searchSubspace prepares and runs Exact-DFS over one subspace — the
+// sequential path, where prep and enumeration stay on one goroutine.
+// The sub span (a no-op when span tracing is off) is closed on every
+// return path, carrying this subspace's work-counter delta.
 func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *partition.Subspace, sub span.Span) error {
 	s.local = localCounters{}
 	var t0 time.Time
@@ -216,7 +357,10 @@ func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *parti
 		t0 = time.Now()
 	}
 	csp := sub.Child("hsp.candidates")
-	skip, err := s.prepareSubspace(ds, q, ss)
+	if s.own == nil {
+		s.own = new(prepState)
+	}
+	skip, err := s.prepareInto(s.own, ds, q, ss)
 	csp.End()
 	if s.tr != nil {
 		s.tr.Add("hsp.candidates", time.Since(t0))
@@ -232,17 +376,15 @@ func (s *searcher) searchSubspace(ds *dataset.Dataset, q *query.Query, ss *parti
 		return err
 	}
 	s.st.AddSubspaces(1)
-	var candTotal int64
-	for d := 0; d < s.sctx.M; d++ {
-		candTotal += int64(len(s.cands[d]))
-	}
+	candTotal := s.own.candTotal
 	s.st.AddCandidates(candTotal)
 	s.st.RaiseSubspaceCandidates(candTotal)
 	if s.tr != nil {
 		t0 = time.Now()
 	}
 	dsp := sub.Child("hsp.dfs")
-	err = s.dfs(0, 0)
+	s.attach(s.own)
+	err = s.dfs(0, 0, 0, len(s.cands[0]))
 	dsp.End()
 	if s.tr != nil {
 		s.tr.Add("hsp.dfs", time.Since(t0))
@@ -269,16 +411,32 @@ type localCounters struct {
 	pruned, tuples, offered, memoHits int64
 }
 
+// prepState is one subspace's prepared search state: the per-dimension
+// candidate lists and Eq. 6 suffix maxima. On the sequential path each
+// searcher owns one and reuses it across subspaces; on the stealing
+// path prep states are pooled, handed from the preparing worker to
+// chunk workers (read-only during enumeration), and recycled when the
+// subspace's last chunk finishes.
+type prepState struct {
+	cands      [][]simil.Cand
+	rbarSuffix []float64
+	candTotal  int64
+}
+
 type searcher struct {
 	ctx         context.Context
 	sctx        *simil.Context
 	heap        topk.Sink
 	tuple       []int32
 	scratch     *simil.Scratch
+	batch       simil.BatchScratch
 	loose       bool
 	sortedBreak bool
 	countHits   bool
 
+	// own is the sequential path's reusable prep state; cands/rbarSuffix
+	// are views of whichever prep state is attached for the current DFS.
+	own        *prepState
 	cands      [][]simil.Cand
 	rbarSuffix []float64
 	steps      int
@@ -287,17 +445,26 @@ type searcher struct {
 	local      localCounters
 }
 
-// prepareSubspace builds the per-subspace candidate lists and Eq. 6 suffix
-// maxima. It reports skip=true when some dimension has no candidate (the
-// subspace cannot produce a tuple) or a pinned object falls outside the
-// ac-subspace.
-func (s *searcher) prepareSubspace(ds *dataset.Dataset, q *query.Query, ss *partition.Subspace) (skip bool, err error) {
+// attach points the DFS at a prepared subspace's candidate lists and
+// resets the prefix scratch.
+func (s *searcher) attach(p *prepState) {
+	s.cands = p.cands
+	s.rbarSuffix = p.rbarSuffix
+	s.scratch.Reset()
+}
+
+// prepareInto builds the per-subspace candidate lists and Eq. 6 suffix
+// maxima into p. It reports skip=true when some dimension has no
+// candidate (the subspace cannot produce a tuple) or a pinned object
+// falls outside the ac-subspace.
+func (s *searcher) prepareInto(p *prepState, ds *dataset.Dataset, q *query.Query, ss *partition.Subspace) (skip bool, err error) {
 	c := s.sctx
 	m := c.M
-	if s.cands == nil {
-		s.cands = make([][]simil.Cand, m)
-		s.rbarSuffix = make([]float64, m+1)
+	if p.cands == nil {
+		p.cands = make([][]simil.Cand, m)
+		p.rbarSuffix = make([]float64, m+1)
 	}
+	p.candTotal = 0
 	for d := 0; d < m; d++ {
 		if fixed := q.Example.FixedDim(d); fixed >= 0 {
 			loc := ds.Loc(int(fixed))
@@ -308,7 +475,7 @@ func (s *searcher) prepareSubspace(ds *dataset.Dataset, q *query.Query, ss *part
 			if !region.Contains(loc) {
 				return true, nil
 			}
-			s.cands[d] = append(s.cands[d][:0], simil.Cand{Pos: fixed, Sim: c.AttrSim(d, fixed)})
+			p.cands[d] = append(p.cands[d][:0], simil.Cand{Pos: fixed, Sim: c.AttrSim(d, fixed)})
 			if s.countHits {
 				s.local.memoHits++
 			}
@@ -318,24 +485,27 @@ func (s *searcher) prepareSubspace(ds *dataset.Dataset, q *query.Query, ss *part
 		if d == 0 {
 			source = ss.CorePoints
 		}
-		s.cands[d] = s.candidatesInto(d, source, s.cands[d][:0])
-		if len(s.cands[d]) == 0 {
+		p.cands[d] = s.candidatesInto(d, source, p.cands[d][:0])
+		if len(p.cands[d]) == 0 {
 			return true, nil
 		}
 	}
-	s.rbarSuffix[m] = 0
+	p.rbarSuffix[m] = 0
 	for d := m - 1; d >= 0; d-- {
-		s.rbarSuffix[d] = s.rbarSuffix[d+1] + s.cands[d][0].Sim
+		p.rbarSuffix[d] = p.rbarSuffix[d+1] + p.cands[d][0].Sim
 	}
-	s.scratch.Reset()
+	for d := 0; d < m; d++ {
+		p.candTotal += int64(len(p.cands[d]))
+	}
 	return false, nil
 }
 
-// candidatesInto wraps simil.Context.CandidatesInto with the per-worker
-// buffer reuse and, on the shared-memo path, the hit accounting (every
-// AttrSim against a complete read-only table is a hit).
+// candidatesInto wraps the blocked simil.Context.CandidatesBatchInto
+// with the per-worker buffer reuse and, on the shared-memo path, the
+// hit accounting (every AttrSim against a complete read-only table is
+// a hit).
 func (s *searcher) candidatesInto(dim int, positions []int32, dst []simil.Cand) []simil.Cand {
-	dst = s.sctx.CandidatesInto(dst, dim, positions)
+	dst = s.sctx.CandidatesBatchInto(dst, dim, positions, &s.batch)
 	if s.countHits {
 		s.local.memoHits += int64(len(dst))
 	}
@@ -344,12 +514,16 @@ func (s *searcher) candidatesInto(dim int, positions []int32, dst []simil.Cand) 
 
 const checkEvery = 4096
 
-// dfs is Exact-DFS (Algorithm 1) over the current subspace's candidates.
+// dfs is Exact-DFS (Algorithm 1) over the current subspace's
+// candidates, restricted at this level to the index range [lo, hi) —
+// the stealing path hands different dim-0 ranges of one subspace to
+// different workers; recursion always descends over the next
+// dimension's full list.
 //
 //seq:hotpath
-func (s *searcher) dfs(dim int, attrSum float64) error {
+func (s *searcher) dfs(dim int, attrSum float64, lo, hi int) error {
 	c := s.sctx
-	for _, cand := range s.cands[dim] {
+	for _, cand := range s.cands[dim][lo:hi] {
 		if s.steps++; s.steps%checkEvery == 0 {
 			select {
 			case <-s.ctx.Done():
@@ -394,7 +568,7 @@ func (s *searcher) dfs(dim int, attrSum float64) error {
 			}
 			if !math.IsInf(spatialBound, -1) &&
 				s.heap.WouldAccept(c.Combine(spatialBound, attrBound)) {
-				if err := s.dfs(dim+1, sum); err != nil {
+				if err := s.dfs(dim+1, sum, 0, len(s.cands[dim+1])); err != nil {
 					return err
 				}
 			} else {

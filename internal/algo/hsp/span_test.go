@@ -11,10 +11,12 @@ import (
 	"spatialseq/internal/testutil"
 )
 
-// TestSpanTimeline verifies the worker/subspace span tree a parallel HSP
-// search records: one lane per worker, every subspace span tagged and
-// carrying its work delta, and the per-subspace candidate counts
-// consistent with the query-wide counters.
+// TestSpanTimeline verifies the unit-span tree a parallel (stealing)
+// HSP search records: one "hsp.prep" span per subspace carrying the
+// subspace-level delta (searched/skipped marks, candidate volume, memo
+// hits), one "hsp.chunk" span per stolen enumeration unit carrying the
+// DFS delta, every unit tagged with both its worker lane and owning
+// subspace, and the per-unit deltas summing to the query-wide counters.
 func TestSpanTimeline(t *testing.T) {
 	rng := rand.New(rand.NewSource(211))
 	ds := testutil.RandDataset(rng, 300, 3, 4, 100)
@@ -39,25 +41,32 @@ func TestSpanTimeline(t *testing.T) {
 		t.Fatal("no spans recorded")
 	}
 	workers := make(map[int32]bool)
-	var subspaceSpans int
-	var workSubspaces, workSkipped, maxCand int64
+	searched := make(map[int32]bool)
+	chunkSubs := make(map[int32]bool)
+	var prepSpans, chunkSpans int
+	var workSubspaces, workSkipped, workCand, workHits, maxCand int64
+	var workPruned, workTuples, workOffered int64
 	for _, n := range tree.Nodes {
 		switch n.Name {
-		case "hsp.worker":
-			workers[n.Worker] = true
-		case "hsp.subspace":
-			subspaceSpans++
+		case "hsp.prep":
+			prepSpans++
 			if n.Subspace < 0 {
-				t.Error("subspace span without subspace tag")
+				t.Error("prep span without subspace tag")
 			}
 			if n.Worker < 0 {
-				t.Error("subspace span outside a worker lane")
+				t.Error("prep span outside a worker lane")
 			}
+			workers[n.Worker] = true
 			if n.Work == nil {
-				t.Fatal("subspace span without work delta")
+				t.Fatal("prep span without work delta")
 			}
 			workSubspaces += n.Work.Subspaces
 			workSkipped += n.Work.SubspacesSkipped
+			workCand += n.Work.Candidates
+			workHits += n.Work.AttrSimMemoHits
+			if n.Work.Subspaces == 1 {
+				searched[n.Subspace] = true
+			}
 			if n.Work.Candidates != n.Work.SubspaceCandidatesMax {
 				t.Errorf("per-subspace delta: candidates %d != own max %d",
 					n.Work.Candidates, n.Work.SubspaceCandidatesMax)
@@ -65,26 +74,67 @@ func TestSpanTimeline(t *testing.T) {
 			if n.Work.SubspaceCandidatesMax > maxCand {
 				maxCand = n.Work.SubspaceCandidatesMax
 			}
+		case "hsp.chunk":
+			chunkSpans++
+			if n.Subspace < 0 {
+				t.Error("chunk span without subspace tag")
+			}
+			if n.Worker < 0 {
+				t.Error("chunk span outside a worker lane")
+			}
+			workers[n.Worker] = true
+			if n.Work == nil {
+				t.Fatal("chunk span without work delta")
+			}
+			chunkSubs[n.Subspace] = true
+			workPruned += n.Work.PrunedPrefixes
+			workTuples += n.Work.Tuples
+			workOffered += n.Work.Offered
+		case "hsp.worker", "hsp.subspace":
+			t.Errorf("parallel path recorded legacy %q span", n.Name)
 		}
 	}
 	if len(workers) == 0 || len(workers) > 4 {
 		t.Errorf("got %d worker lanes, want 1..4", len(workers))
 	}
 	snap := st.Snapshot()
-	if subspaceSpans == 0 || workSubspaces+workSkipped != snap.Subspaces+snap.SubspacesSkipped {
-		t.Errorf("span work deltas (%d searched + %d skipped over %d spans) disagree with counters (%d + %d)",
-			workSubspaces, workSkipped, subspaceSpans, snap.Subspaces, snap.SubspacesSkipped)
+	if prepSpans == 0 || workSubspaces+workSkipped != snap.Subspaces+snap.SubspacesSkipped {
+		t.Errorf("prep deltas (%d searched + %d skipped over %d spans) disagree with counters (%d + %d)",
+			workSubspaces, workSkipped, prepSpans, snap.Subspaces, snap.SubspacesSkipped)
+	}
+	if workCand != snap.Candidates {
+		t.Errorf("prep candidate deltas sum to %d, counters say %d", workCand, snap.Candidates)
+	}
+	if workHits != snap.AttrSimMemoHits {
+		t.Errorf("prep memo-hit deltas sum to %d, counters say %d", workHits, snap.AttrSimMemoHits)
 	}
 	if snap.SubspaceCandidatesMax != maxCand {
 		t.Errorf("SubspaceCandidatesMax = %d, want the span-tree max %d", snap.SubspaceCandidatesMax, maxCand)
+	}
+	// Every searched subspace published at least one chunk, and every
+	// chunk belongs to a searched subspace.
+	if chunkSpans < len(searched) {
+		t.Errorf("%d chunk spans for %d searched subspaces", chunkSpans, len(searched))
+	}
+	if len(chunkSubs) != len(searched) {
+		t.Errorf("chunks cover %d subspaces, %d were searched", len(chunkSubs), len(searched))
+	}
+	for sub := range chunkSubs {
+		if !searched[sub] {
+			t.Errorf("chunk recorded for unsearched subspace %d", sub)
+		}
+	}
+	if workPruned != snap.PrunedPrefixes || workTuples != snap.Tuples || workOffered != snap.Offered {
+		t.Errorf("chunk deltas (pruned %d, tuples %d, offered %d) disagree with counters (%d, %d, %d)",
+			workPruned, workTuples, workOffered, snap.PrunedPrefixes, snap.Tuples, snap.Offered)
 	}
 	if sk := tr.Skew(); sk == nil || sk.Workers != len(workers) {
 		t.Errorf("skew report = %+v, want %d workers", sk, len(workers))
 	}
 
-	// The derived flat aggregate exposes leaf phases, not the lanes.
+	// The derived flat aggregate exposes leaf phases, not containers.
 	for _, p := range tr.PhaseTimings() {
-		if p.Name == "hsp.worker" || p.Name == "search" {
+		if p.Name == "search" {
 			t.Errorf("container span %q leaked into phase timings", p.Name)
 		}
 	}

@@ -27,9 +27,9 @@ import (
 	"runtime"
 	"slices"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"spatialseq/internal/algo/sched"
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/geo"
 	"spatialseq/internal/grid"
@@ -59,13 +59,18 @@ type Options struct {
 	// that order, so a failing bound can abandon the whole level instead
 	// of just the subtree. Off by default for fidelity (ablation A5).
 	SortedBreak bool
-	// Parallelism spreads the independent ac-subspace searches over this
-	// many goroutines sharing one concurrent top-k. A stale pruning
-	// threshold only admits extra candidates, so parallel LORA's results
-	// are never worse than sequential LORA's — but the exact result set
-	// can vary between runs. <= 1 searches sequentially; negative uses
-	// GOMAXPROCS.
+	// Parallelism spreads the search over this many goroutines sharing
+	// one concurrent top-k. A stale pruning threshold only admits extra
+	// candidates, so parallel LORA's results are never worse than
+	// sequential LORA's — but the exact result set can vary between
+	// runs. The unit of parallel work is smaller than a subspace:
+	// prepared subspaces are split into chunks of their root cell list
+	// that workers steal from a shared scheduler. <= 1 searches
+	// sequentially; negative uses GOMAXPROCS.
 	Parallelism int
+	// Steal tunes the work-unit scheduler of the parallel path (chunk
+	// sizing of the stolen root-cell ranges). The zero value auto-sizes.
+	Steal sched.Tuning
 	// Stats, when non-nil, collects per-search counters (subspaces,
 	// cell tuples, rank-graph pops, sampling discards).
 	Stats *stats.Stats
@@ -75,9 +80,12 @@ type Options struct {
 	// sum across workers and can exceed wall time.
 	Trace *obs.Trace
 	// Span, when live, is the parent span the search nests its
-	// hierarchical timeline under: one worker span per goroutine, one
-	// subspace span per searched subspace, with the per-subspace work
-	// counters attached. The zero Span disables span tracing at no cost.
+	// hierarchical timeline under. The sequential path opens one worker
+	// lane with a subspace span per searched subspace; the parallel path
+	// opens one "lora.prep" / "lora.chunk" unit span per stolen work
+	// unit, each tagged with both its worker lane and owning subspace
+	// and carrying that unit's work-counter delta. The zero Span
+	// disables span tracing at no cost.
 	Span span.Span
 }
 
@@ -110,9 +118,8 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(work) {
-		workers = len(work)
-	}
+	// Workers are deliberately not capped at len(work): chunked stealing
+	// lets several workers share one subspace's root cell list.
 	// Overlapping ac-subspaces re-bucket the same (dimension, object)
 	// pairs; memoize the attribute cosines across them — lazily when
 	// sequential, eagerly (read-only) when subspace workers share the
@@ -152,31 +159,37 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 	}
 
 	sink := topk.NewConcurrent(q.Params.K)
+	run := &stealRun{
+		sch:   sched.New(len(work), workers, opt.Steal),
+		work:  work,
+		preps: make([]*prepState, len(work)),
+	}
 	var (
-		next    atomic.Int64
 		wg      sync.WaitGroup
-		stop    atomic.Bool
 		errOnce sync.Once
 		callErr error
 	)
 	record := func(err error) {
 		errOnce.Do(func() { callErr = err })
-		stop.Store(true)
+		run.sch.Abort()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws := opt.Span.Worker("lora.worker", w)
-			defer ws.End()
 			s := newSearcher(ctx, sctx, sink, q, opt)
-			for !stop.Load() {
-				i := next.Add(1) - 1
-				if int(i) >= len(work) {
+			for {
+				u, ok := run.sch.Acquire()
+				if !ok {
 					return
 				}
-				sub := ws.Subspace("lora.subspace", int(i))
-				if err := s.searchSubspace(work[i], sub); err != nil {
+				var err error
+				if u.Prep {
+					err = s.prepUnit(run, u.Sub, w, opt.Span)
+				} else {
+					err = s.chunkUnit(run, u, w, opt.Span)
+				}
+				if err != nil {
 					record(err)
 					return
 				}
@@ -232,27 +245,48 @@ func (s *searcher) flushStats() {
 	s.local = localCounters{}
 }
 
-// localSnapshot converts the current per-subspace counter batch into
-// the work delta attached to the subspace span; searched selects
-// between the searched and skipped subspace count.
-func (s *searcher) localSnapshot(searched bool) stats.Snapshot {
-	snap := stats.Snapshot{
-		Candidates:            s.local.candidates,
-		SampledOut:            s.local.sampledOut,
-		CellTuples:            s.local.cellTuples,
-		PrunedCellPrefixes:    s.local.prunedCells,
-		RankPops:              s.local.pops,
-		Tuples:                s.local.tuples,
-		Offered:               s.local.offered,
-		AttrSimMemoHits:       s.local.memoHits,
-		SubspaceCandidatesMax: s.local.candidates,
+// localDelta converts the current counter batch into a plain work
+// snapshot — the delta attached to chunk spans, which carry enumeration
+// work but no subspace marks.
+func (s *searcher) localDelta() stats.Snapshot {
+	return stats.Snapshot{
+		Candidates:         s.local.candidates,
+		SampledOut:         s.local.sampledOut,
+		CellTuples:         s.local.cellTuples,
+		PrunedCellPrefixes: s.local.prunedCells,
+		RankPops:           s.local.pops,
+		Tuples:             s.local.tuples,
+		Offered:            s.local.offered,
+		AttrSimMemoHits:    s.local.memoHits,
 	}
+}
+
+// localSnapshot converts the current per-subspace counter batch into
+// the work delta attached to the subspace (or prep) span; searched
+// selects between the searched and skipped subspace count.
+func (s *searcher) localSnapshot(searched bool) stats.Snapshot {
+	snap := s.localDelta()
+	snap.SubspaceCandidatesMax = s.local.candidates
 	if searched {
 		snap.Subspaces = 1
 	} else {
 		snap.SubspacesSkipped = 1
 	}
 	return snap
+}
+
+// prepState is one subspace's prepared search state: the grid, the
+// sampled (dimension, cell) buckets and the sorted cell lists with
+// their Eq.-style suffix maxima. On the sequential path each searcher
+// owns one and reuses it across subspaces; on the stealing path prep
+// states are pooled, handed from the preparing worker to chunk workers
+// (read-only during enumeration — grid MinDist/MaxDist are pure), and
+// recycled when the subspace's last chunk finishes.
+type prepState struct {
+	g          *grid.Grid
+	buckets    [][][]simil.Cand // [dim][cell] sampled candidates, sorted desc
+	cellLists  [][]scoredCell   // [dim] non-empty cells sorted by score desc
+	rbarSuffix []float64
 }
 
 type searcher struct {
@@ -270,11 +304,21 @@ type searcher struct {
 	// cellDFS, so the cell- and point-level phases report disjointly.
 	pointDur time.Duration
 
-	// per-subspace state
+	// own is the sequential path's reusable prep state; g/buckets/
+	// cellLists/rbarSuffix are views of whichever prep state is attached
+	// for the current enumeration.
+	own        *prepState
 	g          *grid.Grid
-	buckets    [][][]simil.Cand // [dim][cell] sampled candidates, sorted desc
-	cellLists  [][]scoredCell   // [dim] non-empty cells sorted by score desc
+	buckets    [][][]simil.Cand
+	cellLists  [][]scoredCell
 	rbarSuffix []float64
+
+	// batch scoring scratch for bucketing (category-filtered positions
+	// and their blocked attribute sims)
+	posBuf []int32
+	simBuf []float64
+
+	// enumeration scratch (per-searcher, reused across cell tuples)
 	cellTuple  []int
 	simScratch [][]float64
 	listsBuf   [][]simil.Cand
@@ -284,6 +328,20 @@ type searcher struct {
 	tuple []int32
 	asims []float64
 	dist  []float64
+}
+
+// attach points the enumeration at a prepared subspace's state and
+// lazily sizes the per-searcher enumeration scratch.
+func (s *searcher) attach(p *prepState) {
+	s.g = p.g
+	s.buckets = p.buckets
+	s.cellLists = p.cellLists
+	s.rbarSuffix = p.rbarSuffix
+	if s.cellTuple == nil {
+		m := s.sctx.M
+		s.cellTuple = make([]int, m)
+		s.simScratch = make([][]float64, m)
+	}
 }
 
 type scoredCell struct {
@@ -318,43 +376,139 @@ func (s *searcher) checkCancel() error {
 	return nil
 }
 
-// searchSubspace buckets, samples, and enumerates one subspace. The sub
-// span (a no-op when span tracing is off) is closed on every return
-// path, carrying this subspace's work-counter delta.
-func (s *searcher) searchSubspace(ss *partition.Subspace, sub span.Span) error {
-	c := s.sctx
-	m := c.M
+// stealRun is the shared state of one parallel stealing search: the
+// work-unit scheduler, the prepared-subspace handoff slots, and a small
+// recycling pool of prep states (bounded by the worker count, because
+// the scheduler drains queued chunks before starting new preps).
+// preps[i] is written by the preparing worker before Publish and read
+// by chunk workers after Acquire; the scheduler's lock orders the two.
+type stealRun struct {
+	sch   *sched.Scheduler
+	work  []*partition.Subspace
+	preps []*prepState
+
+	mu   sync.Mutex
+	pool []*prepState
+}
+
+func (r *stealRun) take() *prepState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.pool); n > 0 {
+		p := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		return p
+	}
+	return new(prepState)
+}
+
+func (r *stealRun) put(p *prepState) {
+	r.mu.Lock()
+	r.pool = append(r.pool, p)
+	r.mu.Unlock()
+}
+
+// prepUnit buckets and samples one subspace — exactly once per
+// subspace — and publishes its root cell list to the scheduler as
+// steal-able chunks. The prep span carries the subspace-level work
+// delta (candidate volume, sampling discards, skip marks, memo hits);
+// enumeration counters land on the chunk spans.
+func (s *searcher) prepUnit(run *stealRun, sub, w int, parent span.Span) error {
 	var t0 time.Time
 	if s.tr != nil {
 		t0 = time.Now()
 	}
-	smp := sub.Child("lora.sample")
-	g, err := grid.New(ss.AC, s.q.Params.GridD)
+	p := run.take()
+	sp := parent.Unit("lora.prep", w, sub)
+	skip, err := s.prepareInto(p, run.work[sub])
 	if err != nil {
-		smp.End()
-		sub.End()
+		sp.End()
+		run.sch.Publish(sub, 0)
+		run.put(p)
 		return err
 	}
-	s.g = g
+	if s.tr != nil {
+		s.tr.Add("lora.sample", time.Since(t0))
+	}
+	if skip {
+		s.st.AddSubspacesSkipped(1)
+		sp.EndWork(s.localSnapshot(false))
+		s.flushStats()
+		run.sch.Publish(sub, 0)
+		run.put(p)
+		return nil
+	}
+	s.st.AddSubspaces(1)
+	sp.EndWork(s.localSnapshot(true))
+	s.flushStats()
+	run.preps[sub] = p
+	if run.sch.Publish(sub, len(p.cellLists[0])) == 0 {
+		// Aborted before any chunk was queued: no Done will follow, so
+		// reclaim the prepared state here.
+		run.preps[sub] = nil
+		run.put(p)
+	}
+	return nil
+}
+
+// chunkUnit enumerates one stolen chunk: the root cell range [u.Lo,
+// u.Hi) of an already-prepared subspace. The chunk span carries the
+// enumeration work delta, attributed to the owning subspace, so
+// Tree.Skew keeps measuring per-lane busy time and the straggler
+// attribution keeps naming the heaviest subspace.
+func (s *searcher) chunkUnit(run *stealRun, u sched.Unit, w int, parent span.Span) error {
+	p := run.preps[u.Sub]
+	var t0 time.Time
+	if s.tr != nil {
+		t0 = time.Now()
+	}
+	sp := parent.Unit("lora.chunk", w, u.Sub)
+	s.attach(p)
+	s.pointDur = 0
+	err := s.cellDFS(0, 0, u.Lo, u.Hi)
+	if s.tr != nil {
+		s.tr.Add("lora.points", s.pointDur)
+		s.tr.Add("lora.cells", time.Since(t0)-s.pointDur)
+	}
+	sp.EndWork(s.localDelta())
+	s.flushStats()
+	if run.sch.Done(u.Sub) {
+		run.preps[u.Sub] = nil
+		run.put(p)
+	}
+	return err
+}
+
+// prepareInto buckets candidates per (dimension, cell), Point-Samples
+// each bucket, and builds the sorted cell lists and suffix maxima into
+// p. It reports skip=true when a pinned object falls outside the
+// subspace or some dimension has no candidate cell. Candidate and
+// sampling counters accumulate into s.local; the caller attaches and
+// flushes them.
+func (s *searcher) prepareInto(p *prepState, ss *partition.Subspace) (skip bool, err error) {
+	c := s.sctx
+	m := c.M
+	g, err := grid.New(ss.AC, s.q.Params.GridD)
+	if err != nil {
+		return false, err
+	}
+	p.g = g
 	nc := g.NumCells()
-	if s.buckets == nil {
-		s.buckets = make([][][]simil.Cand, m)
-		s.cellLists = make([][]scoredCell, m)
-		s.rbarSuffix = make([]float64, m+1)
-		s.cellTuple = make([]int, m)
-		s.simScratch = make([][]float64, m)
+	if p.buckets == nil {
+		p.buckets = make([][][]simil.Cand, m)
+		p.cellLists = make([][]scoredCell, m)
+		p.rbarSuffix = make([]float64, m+1)
 	}
 	for d := 0; d < m; d++ {
-		if s.buckets[d] == nil || len(s.buckets[d]) < nc {
-			s.buckets[d] = make([][]simil.Cand, nc)
+		if p.buckets[d] == nil || len(p.buckets[d]) < nc {
+			p.buckets[d] = make([][]simil.Cand, nc)
 		}
 		for i := 0; i < nc; i++ {
-			s.buckets[d][i] = s.buckets[d][i][:0]
+			p.buckets[d][i] = p.buckets[d][i][:0]
 		}
-		s.cellLists[d] = s.cellLists[d][:0]
+		p.cellLists[d] = p.cellLists[d][:0]
 	}
 
-	// Bucket candidates per (dimension, cell); Point-Sample each bucket.
 	for d := 0; d < m; d++ {
 		if fixed := s.q.Example.FixedDim(d); fixed >= 0 {
 			loc := c.DS.Loc(int(fixed))
@@ -363,76 +517,103 @@ func (s *searcher) searchSubspace(ss *partition.Subspace, sub span.Span) error {
 				region = ss.Core
 			}
 			if !region.Contains(loc) {
-				if s.tr != nil {
-					s.tr.Add("lora.sample", time.Since(t0))
-				}
-				smp.End()
-				s.st.AddSubspacesSkipped(1)
-				sub.EndWork(s.localSnapshot(false))
-				s.flushStats()
-				return nil // subspace cannot host the pinned object
+				return true, nil // subspace cannot host the pinned object
 			}
 			cell := g.Cell(loc)
 			if s.countHits {
 				s.local.memoHits++
 			}
-			s.buckets[d][cell] = append(s.buckets[d][cell], simil.Cand{Pos: fixed, Sim: c.AttrSim(d, fixed)})
-			s.cellLists[d] = append(s.cellLists[d], scoredCell{cell: cell, score: s.buckets[d][cell][0].Sim})
+			p.buckets[d][cell] = append(p.buckets[d][cell], simil.Cand{Pos: fixed, Sim: c.AttrSim(d, fixed)})
+			p.cellLists[d] = append(p.cellLists[d], scoredCell{cell: cell, score: p.buckets[d][cell][0].Sim})
 			continue
 		}
 		source := ss.ACPoints
 		if d == 0 {
 			source = ss.CorePoints
 		}
+		// Blocked batch scoring: gather the category survivors, score
+		// them with one AttrSimBatch sweep, then bucket by cell. Same
+		// candidate order, sims and counters as the scalar loop.
 		cat := c.Ex.Categories[d]
-		for _, pos := range source {
-			if c.DS.Category(int(pos)) != cat {
-				continue
+		pos := s.posBuf[:0]
+		for _, ps := range source {
+			if c.DS.Category(int(ps)) == cat {
+				pos = append(pos, ps)
 			}
-			s.local.candidates++
-			if s.countHits {
-				s.local.memoHits++
-			}
-			cell := g.Cell(c.DS.Loc(int(pos)))
-			s.buckets[d][cell] = append(s.buckets[d][cell], simil.Cand{Pos: pos, Sim: c.AttrSim(d, pos)})
+		}
+		s.posBuf = pos
+		s.local.candidates += int64(len(pos))
+		if s.countHits {
+			s.local.memoHits += int64(len(pos))
+		}
+		if cap(s.simBuf) < len(pos) {
+			s.simBuf = make([]float64, len(pos))
+		}
+		sims := s.simBuf[:len(pos)]
+		c.AttrSimBatch(d, pos, sims)
+		for i, ps := range pos {
+			cell := g.Cell(c.DS.Loc(int(ps)))
+			p.buckets[d][cell] = append(p.buckets[d][cell], simil.Cand{Pos: ps, Sim: sims[i]})
 		}
 		for cell := 0; cell < nc; cell++ {
-			b := s.buckets[d][cell]
+			b := p.buckets[d][cell]
 			if len(b) == 0 {
 				continue
 			}
 			before := len(b)
-			s.buckets[d][cell] = s.sampleBucket(b, d, cell)
-			s.local.sampledOut += int64(before - len(s.buckets[d][cell]))
-			s.cellLists[d] = append(s.cellLists[d], scoredCell{cell: cell, score: s.buckets[d][cell][0].Sim})
+			p.buckets[d][cell] = s.sampleBucket(b, d, cell)
+			s.local.sampledOut += int64(before - len(p.buckets[d][cell]))
+			p.cellLists[d] = append(p.cellLists[d], scoredCell{cell: cell, score: p.buckets[d][cell][0].Sim})
 		}
-		if len(s.cellLists[d]) == 0 {
-			if s.tr != nil {
-				s.tr.Add("lora.sample", time.Since(t0))
-			}
-			smp.End()
-			s.st.AddSubspacesSkipped(1)
-			sub.EndWork(s.localSnapshot(false))
-			s.flushStats()
-			return nil // no candidates for this dimension here
+		if len(p.cellLists[d]) == 0 {
+			return true, nil // no candidates for this dimension here
 		}
+	}
+	for d := 0; d < m; d++ {
+		sortScoredCells(p.cellLists[d])
+	}
+	p.rbarSuffix[m] = 0
+	for d := m - 1; d >= 0; d-- {
+		p.rbarSuffix[d] = p.rbarSuffix[d+1] + p.cellLists[d][0].score
+	}
+	return false, nil
+}
+
+// searchSubspace buckets, samples, and enumerates one subspace — the
+// sequential path, where prep and enumeration stay on one goroutine.
+// The sub span (a no-op when span tracing is off) is closed on every
+// return path, carrying this subspace's work-counter delta.
+func (s *searcher) searchSubspace(ss *partition.Subspace, sub span.Span) error {
+	var t0 time.Time
+	if s.tr != nil {
+		t0 = time.Now()
+	}
+	smp := sub.Child("lora.sample")
+	if s.own == nil {
+		s.own = new(prepState)
+	}
+	skip, err := s.prepareInto(s.own, ss)
+	if err != nil {
+		smp.End()
+		sub.End()
+		return err
 	}
 	if s.tr != nil {
 		s.tr.Add("lora.sample", time.Since(t0))
 		t0 = time.Now()
 	}
 	smp.End()
-	for d := 0; d < m; d++ {
-		sortScoredCells(s.cellLists[d])
+	if skip {
+		s.st.AddSubspacesSkipped(1)
+		sub.EndWork(s.localSnapshot(false))
+		s.flushStats()
+		return nil
 	}
-	s.rbarSuffix[m] = 0
-	for d := m - 1; d >= 0; d-- {
-		s.rbarSuffix[d] = s.rbarSuffix[d+1] + s.cellLists[d][0].score
-	}
+	s.attach(s.own)
 	s.st.AddSubspaces(1)
 	s.pointDur = 0
 	esp := sub.Child("lora.enum")
-	err = s.cellDFS(0, 0)
+	err = s.cellDFS(0, 0, 0, len(s.cellLists[0]))
 	esp.End()
 	if s.tr != nil {
 		// pointEnum time is carved out of the enumeration window so the
@@ -466,12 +647,15 @@ func (s *searcher) sampleBucket(b []simil.Cand, dim, cell int) []simil.Cand {
 	return b
 }
 
-// cellDFS is Cell-Tuple-Enum (Algorithm 4).
+// cellDFS is Cell-Tuple-Enum (Algorithm 4), restricted at this level to
+// the cell-list index range [lo, hi) — the stealing path hands
+// different root ranges of one subspace to different workers; recursion
+// always descends over the next dimension's full list.
 //
 //seq:hotpath
-func (s *searcher) cellDFS(dim int, scoreSum float64) error {
+func (s *searcher) cellDFS(dim int, scoreSum float64, lo, hi int) error {
 	c := s.sctx
-	for _, sc := range s.cellLists[dim] {
+	for _, sc := range s.cellLists[dim][lo:hi] {
 		if err := s.checkCancel(); err != nil {
 			return err
 		}
@@ -496,7 +680,7 @@ func (s *searcher) cellDFS(dim int, scoreSum float64) error {
 				return err
 			}
 		} else {
-			if err := s.cellDFS(dim+1, sum); err != nil {
+			if err := s.cellDFS(dim+1, sum, 0, len(s.cellLists[dim+1])); err != nil {
 				return err
 			}
 		}

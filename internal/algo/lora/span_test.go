@@ -11,9 +11,12 @@ import (
 	"spatialseq/internal/testutil"
 )
 
-// TestSpanTimeline verifies LORA's span tree under parallel workers:
-// subspace spans are lane-tagged with work deltas, and the per-subspace
-// candidate max agrees with the query-wide counter.
+// TestSpanTimeline verifies LORA's unit-span tree under parallel
+// (stealing) workers: one "lora.prep" span per subspace carrying the
+// subspace-level delta, one "lora.chunk" span per stolen enumeration
+// unit carrying the cell/point enumeration delta, every unit tagged
+// with both its worker lane and owning subspace, and the per-unit
+// deltas summing to the query-wide counters.
 func TestSpanTimeline(t *testing.T) {
 	rng := rand.New(rand.NewSource(221))
 	ds := testutil.RandDataset(rng, 300, 3, 4, 100)
@@ -38,33 +41,79 @@ func TestSpanTimeline(t *testing.T) {
 		t.Fatal("no spans recorded")
 	}
 	workers := make(map[int32]bool)
-	var subspaceSpans int
-	var maxCand int64
+	searched := make(map[int32]bool)
+	chunkSubs := make(map[int32]bool)
+	var prepSpans, chunkSpans int
+	var workSubspaces, workSkipped, workCand, workHits, maxCand int64
+	var workCellTuples, workPops, workTuples, workOffered int64
 	for _, n := range tree.Nodes {
 		switch n.Name {
-		case "lora.worker":
-			workers[n.Worker] = true
-		case "lora.subspace":
-			subspaceSpans++
+		case "lora.prep":
+			prepSpans++
 			if n.Subspace < 0 || n.Worker < 0 {
-				t.Errorf("subspace span untagged: worker %d subspace %d", n.Worker, n.Subspace)
+				t.Errorf("prep span untagged: worker %d subspace %d", n.Worker, n.Subspace)
 			}
+			workers[n.Worker] = true
 			if n.Work == nil {
-				t.Fatal("subspace span without work delta")
+				t.Fatal("prep span without work delta")
+			}
+			workSubspaces += n.Work.Subspaces
+			workSkipped += n.Work.SubspacesSkipped
+			workCand += n.Work.Candidates
+			workHits += n.Work.AttrSimMemoHits
+			if n.Work.Subspaces == 1 {
+				searched[n.Subspace] = true
 			}
 			if n.Work.SubspaceCandidatesMax > maxCand {
 				maxCand = n.Work.SubspaceCandidatesMax
 			}
+		case "lora.chunk":
+			chunkSpans++
+			if n.Subspace < 0 || n.Worker < 0 {
+				t.Errorf("chunk span untagged: worker %d subspace %d", n.Worker, n.Subspace)
+			}
+			workers[n.Worker] = true
+			if n.Work == nil {
+				t.Fatal("chunk span without work delta")
+			}
+			chunkSubs[n.Subspace] = true
+			workCellTuples += n.Work.CellTuples
+			workPops += n.Work.RankPops
+			workTuples += n.Work.Tuples
+			workOffered += n.Work.Offered
+		case "lora.worker", "lora.subspace":
+			t.Errorf("parallel path recorded legacy %q span", n.Name)
 		}
 	}
-	if subspaceSpans == 0 {
-		t.Fatal("no subspace spans recorded")
+	if prepSpans == 0 {
+		t.Fatal("no prep spans recorded")
 	}
 	if len(workers) == 0 || len(workers) > 4 {
 		t.Errorf("got %d worker lanes, want 1..4", len(workers))
 	}
-	if snap := st.Snapshot(); snap.SubspaceCandidatesMax != maxCand {
+	snap := st.Snapshot()
+	if workSubspaces+workSkipped != snap.Subspaces+snap.SubspacesSkipped {
+		t.Errorf("prep deltas (%d searched + %d skipped) disagree with counters (%d + %d)",
+			workSubspaces, workSkipped, snap.Subspaces, snap.SubspacesSkipped)
+	}
+	if workCand != snap.Candidates {
+		t.Errorf("prep candidate deltas sum to %d, counters say %d", workCand, snap.Candidates)
+	}
+	if workHits != snap.AttrSimMemoHits {
+		t.Errorf("prep memo-hit deltas sum to %d, counters say %d", workHits, snap.AttrSimMemoHits)
+	}
+	if snap.SubspaceCandidatesMax != maxCand {
 		t.Errorf("SubspaceCandidatesMax = %d, want the span-tree max %d", snap.SubspaceCandidatesMax, maxCand)
+	}
+	if chunkSpans < len(searched) || len(chunkSubs) != len(searched) {
+		t.Errorf("%d chunk spans over %d subspaces for %d searched subspaces",
+			chunkSpans, len(chunkSubs), len(searched))
+	}
+	if workCellTuples != snap.CellTuples || workPops != snap.RankPops ||
+		workTuples != snap.Tuples || workOffered != snap.Offered {
+		t.Errorf("chunk deltas (cells %d, pops %d, tuples %d, offered %d) disagree with counters (%d, %d, %d, %d)",
+			workCellTuples, workPops, workTuples, workOffered,
+			snap.CellTuples, snap.RankPops, snap.Tuples, snap.Offered)
 	}
 	if sk := tr.Skew(); sk == nil || sk.Workers != len(workers) {
 		t.Errorf("skew report = %+v, want %d workers", sk, len(workers))

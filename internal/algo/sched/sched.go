@@ -1,0 +1,205 @@
+// Package sched implements the shared work-unit scheduler behind the
+// intra-subspace work stealing of the parallel HSP and LORA paths.
+//
+// The pre-stealing parallel loops pulled whole subspaces off an atomic
+// counter, which made a Zipf head subspace indivisible: one worker lane
+// dragged ~66% of the candidate work while the others idled (the
+// EXPERIMENTS.md S1 baseline). Here the unit of work is smaller than the
+// subspace: a *(subspace, dim-0 candidate range)* chunk. Workers acquire
+// units in a loop — first a prep unit per subspace (candidate
+// enumeration, run exactly once per subspace so the Lemma-1 discipline
+// holds), then enumeration chunks of the prepared subspace's root-level
+// candidates, sized by candidate count so a fat subspace's DFS root
+// level is shared across every idle worker.
+//
+// Exactness is unaffected by steal order: the concurrent top-k's
+// deterministic tie-break is order-independent, and a stale pruning
+// threshold only admits extra candidates. The scheduler therefore makes
+// no ordering promises beyond "every published chunk is acquired exactly
+// once".
+//
+// The package is a leaf: pure stdlib, importable from any algorithm.
+package sched
+
+import "sync"
+
+// Default auto-chunking knobs: split each subspace into about
+// Oversubscribe chunks per worker (enough granularity for the tail to
+// steal, few enough that per-chunk overhead stays invisible), but never
+// below MinChunk candidates per chunk.
+const (
+	defaultOversubscribe = 4
+	defaultMinChunk      = 1
+)
+
+// Tuning controls how a prepared subspace's root candidate range is
+// split into steal-able chunks. The zero value auto-sizes.
+type Tuning struct {
+	// ChunkSize fixes the chunk length in dim-0 candidates: > 0 uses
+	// exactly that size (1 is the adversarial minimum — every root
+	// candidate its own unit), < 0 disables splitting (one chunk per
+	// subspace, the pre-stealing behavior), 0 auto-sizes from the
+	// worker count.
+	ChunkSize int
+	// MinChunk floors the auto size so tiny subspaces are not shredded
+	// into per-candidate units; <= 0 takes the caller's default.
+	MinChunk int
+	// Oversubscribe is the target number of auto-sized chunks per
+	// worker per subspace; <= 0 takes the default (4).
+	Oversubscribe int
+}
+
+// Unit is one acquired work item. Prep units ask the worker to prepare
+// subspace Sub (build candidate lists) and report the root candidate
+// count via Publish; enumeration units ask it to search the dim-0
+// candidate range [Lo, Hi) of the already-prepared Sub.
+type Unit struct {
+	Sub    int
+	Lo, Hi int
+	Prep   bool
+}
+
+// Scheduler hands out prep and enumeration units to parallel workers.
+// One Scheduler covers one query execution.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	tun     Tuning
+	workers int
+	numSub  int
+	nextSub int // next subspace needing prep
+	prep    int // prep units handed out but not yet Published
+	queue   []Unit
+	qhead   int
+	pending []int // unacquired+unfinished chunks per subspace
+	aborted bool
+}
+
+// New returns a scheduler over numSub subspaces for the given worker
+// count (used by auto chunk sizing; must be >= 1).
+func New(numSub, workers int, tun Tuning) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{tun: tun, workers: workers, numSub: numSub, pending: make([]int, numSub)}
+	s.cond.L = &s.mu
+	return s
+}
+
+// Acquire blocks until a unit is available and returns it; ok=false
+// means the search is drained (or aborted) and the worker should exit.
+// Chunks are preferred over preps so the number of subspaces held
+// prepared-but-unfinished stays bounded by the worker count, not the
+// subspace count.
+//
+//seq:hotpath
+func (s *Scheduler) Acquire() (u Unit, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.aborted {
+			return Unit{}, false
+		}
+		if s.qhead < len(s.queue) {
+			u = s.queue[s.qhead]
+			s.qhead++
+			return u, true
+		}
+		if s.nextSub < s.numSub {
+			u = Unit{Sub: s.nextSub, Prep: true}
+			s.nextSub++
+			s.prep++
+			return u, true
+		}
+		if s.prep == 0 {
+			// nothing queued, nothing left to prep, nothing in flight
+			// that could publish more: drained.
+			return Unit{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// Publish completes a prep unit: the worker prepared subspace sub and
+// found n root (dim-0) candidates. n <= 0 marks the subspace skipped
+// (or failed) — no chunks are queued. It returns how many chunks were
+// queued; 0 also when the scheduler was aborted meanwhile, in which
+// case no Done calls will follow and the caller reclaims the prepared
+// state itself. Every acquired prep unit must be Published exactly
+// once, on every path including errors, or waiting workers deadlock.
+func (s *Scheduler) Publish(sub, n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prep--
+	count := 0
+	if n > 0 && !s.aborted {
+		if s.qhead == len(s.queue) {
+			// drained queue: reuse the backing array instead of growing
+			s.queue = s.queue[:0]
+			s.qhead = 0
+		}
+		c := s.chunkFor(n)
+		for lo := 0; lo < n; lo += c {
+			hi := lo + c
+			if hi > n {
+				hi = n
+			}
+			s.queue = append(s.queue, Unit{Sub: sub, Lo: lo, Hi: hi})
+			count++
+		}
+		s.pending[sub] = count
+	}
+	s.cond.Broadcast()
+	return count
+}
+
+// Done records that one acquired chunk of sub finished (successfully or
+// not) and reports whether it was the last one — the point at which the
+// subspace's prepared state can be recycled.
+//
+//seq:hotpath
+func (s *Scheduler) Done(sub int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending[sub]--
+	return s.pending[sub] == 0
+}
+
+// Abort wakes every waiting worker and makes all future Acquires fail,
+// so an error or cancellation on one worker drains the others promptly.
+// Chunks already acquired still run to completion (their Done calls
+// stay balanced); unacquired ones are dropped.
+func (s *Scheduler) Abort() {
+	s.mu.Lock()
+	s.aborted = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// chunkFor sizes the chunks of a subspace with n root candidates.
+// Called with s.mu held.
+func (s *Scheduler) chunkFor(n int) int {
+	c := s.tun.ChunkSize
+	if c > 0 {
+		return c
+	}
+	if c < 0 {
+		return n
+	}
+	over := s.tun.Oversubscribe
+	if over <= 0 {
+		over = defaultOversubscribe
+	}
+	c = (n + over*s.workers - 1) / (over * s.workers)
+	min := s.tun.MinChunk
+	if min <= 0 {
+		min = defaultMinChunk
+	}
+	if c < min {
+		c = min
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}

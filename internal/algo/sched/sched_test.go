@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// drain pulls every unit out of a scheduler on a single goroutine,
+// publishing preps with the candidate counts from n. Returns the
+// acquired chunk units grouped by subspace.
+func drain(t *testing.T, s *Scheduler, n []int) [][]Unit {
+	t.Helper()
+	chunks := make([][]Unit, len(n))
+	for {
+		u, ok := s.Acquire()
+		if !ok {
+			return chunks
+		}
+		if u.Prep {
+			s.Publish(u.Sub, n[u.Sub])
+			continue
+		}
+		chunks[u.Sub] = append(chunks[u.Sub], u)
+		s.Done(u.Sub)
+	}
+}
+
+// coverage verifies the chunks of one subspace tile [0, n) exactly.
+func coverage(t *testing.T, chunks []Unit, n int) {
+	t.Helper()
+	seen := make([]bool, n)
+	for _, u := range chunks {
+		if u.Lo < 0 || u.Hi > n || u.Lo >= u.Hi {
+			t.Fatalf("bad chunk [%d, %d) over %d candidates", u.Lo, u.Hi, n)
+		}
+		for i := u.Lo; i < u.Hi; i++ {
+			if seen[i] {
+				t.Fatalf("candidate %d covered twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("candidate %d never covered", i)
+		}
+	}
+}
+
+func TestFixedChunking(t *testing.T) {
+	s := New(1, 4, Tuning{ChunkSize: 10})
+	chunks := drain(t, s, []int{25})
+	if len(chunks[0]) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks[0]))
+	}
+	want := []Unit{{Sub: 0, Lo: 0, Hi: 10}, {Sub: 0, Lo: 10, Hi: 20}, {Sub: 0, Lo: 20, Hi: 25}}
+	for i, u := range chunks[0] {
+		if u != want[i] {
+			t.Errorf("chunk %d = %+v, want %+v", i, u, want[i])
+		}
+	}
+	coverage(t, chunks[0], 25)
+}
+
+func TestWholeSubspaceChunking(t *testing.T) {
+	s := New(2, 4, Tuning{ChunkSize: -1})
+	chunks := drain(t, s, []int{100, 7})
+	for sub, n := range []int{100, 7} {
+		if len(chunks[sub]) != 1 {
+			t.Fatalf("subspace %d: got %d chunks, want 1", sub, len(chunks[sub]))
+		}
+		coverage(t, chunks[sub], n)
+	}
+}
+
+func TestAutoChunking(t *testing.T) {
+	// 4 workers x oversubscribe 4 = 16 target chunks; 1000 candidates
+	// gives ceil(1000/16) = 63 per chunk, 16 chunks.
+	s := New(1, 4, Tuning{})
+	chunks := drain(t, s, []int{1000})
+	if len(chunks[0]) != 16 {
+		t.Errorf("got %d auto chunks, want 16", len(chunks[0]))
+	}
+	coverage(t, chunks[0], 1000)
+
+	// MinChunk floors the auto size: 20 candidates over 16 targets would
+	// be 2-wide, but MinChunk 8 forces ceil(20/8) = 3 chunks.
+	s = New(1, 4, Tuning{MinChunk: 8})
+	chunks = drain(t, s, []int{20})
+	if len(chunks[0]) != 3 {
+		t.Errorf("got %d floored chunks, want 3", len(chunks[0]))
+	}
+	coverage(t, chunks[0], 20)
+
+	// A subspace smaller than MinChunk is one chunk.
+	s = New(1, 4, Tuning{MinChunk: 64})
+	chunks = drain(t, s, []int{5})
+	if len(chunks[0]) != 1 {
+		t.Errorf("got %d chunks for a tiny subspace, want 1", len(chunks[0]))
+	}
+	coverage(t, chunks[0], 5)
+}
+
+func TestSkippedSubspace(t *testing.T) {
+	s := New(3, 2, Tuning{ChunkSize: 4})
+	chunks := drain(t, s, []int{6, 0, 3})
+	if len(chunks[1]) != 0 {
+		t.Errorf("skipped subspace produced %d chunks", len(chunks[1]))
+	}
+	coverage(t, chunks[0], 6)
+	coverage(t, chunks[2], 3)
+}
+
+func TestAbortUnblocksWaiters(t *testing.T) {
+	s := New(1, 2, Tuning{})
+	u, ok := s.Acquire()
+	if !ok || !u.Prep {
+		t.Fatalf("first acquire = %+v, %v; want a prep unit", u, ok)
+	}
+	// A second worker has nothing to do until the prep publishes; it
+	// must park, and Abort must release it.
+	done := make(chan bool)
+	go func() {
+		_, ok := s.Acquire()
+		done <- ok
+	}()
+	s.Abort()
+	if got := <-done; got {
+		t.Error("aborted Acquire returned ok=true")
+	}
+	if n := s.Publish(u.Sub, 50); n != 0 {
+		t.Errorf("Publish after abort queued %d chunks, want 0", n)
+	}
+	if _, ok := s.Acquire(); ok {
+		t.Error("Acquire after abort returned ok=true")
+	}
+}
+
+// TestStress hammers the scheduler with many workers under -race:
+// every candidate of every subspace must be covered exactly once, every
+// subspace prepped exactly once, and Done must report last-chunk
+// exactly once per published subspace.
+func TestStress(t *testing.T) {
+	const (
+		numSub  = 50
+		workers = 8
+	)
+	for _, tun := range []Tuning{{}, {ChunkSize: 1}, {ChunkSize: 7}, {ChunkSize: -1}} {
+		// Deterministic, skewed sizes: one fat head, some empties.
+		sizes := make([]int, numSub)
+		for i := range sizes {
+			switch {
+			case i == 0:
+				sizes[i] = 4000
+			case i%7 == 3:
+				sizes[i] = 0
+			default:
+				sizes[i] = 13 + 31*(i%11)
+			}
+		}
+		var mu sync.Mutex
+		prepped := make([]int, numSub)
+		last := make([]int, numSub)
+		covered := make([][]bool, numSub)
+		for i, n := range sizes {
+			covered[i] = make([]bool, n)
+		}
+
+		s := New(numSub, workers, tun)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					u, ok := s.Acquire()
+					if !ok {
+						return
+					}
+					if u.Prep {
+						mu.Lock()
+						prepped[u.Sub]++
+						mu.Unlock()
+						s.Publish(u.Sub, sizes[u.Sub])
+						continue
+					}
+					mu.Lock()
+					for i := u.Lo; i < u.Hi; i++ {
+						if covered[u.Sub][i] {
+							t.Errorf("tuning %+v: subspace %d candidate %d covered twice", tun, u.Sub, i)
+						}
+						covered[u.Sub][i] = true
+					}
+					mu.Unlock()
+					if s.Done(u.Sub) {
+						mu.Lock()
+						last[u.Sub]++
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		for i, n := range sizes {
+			if prepped[i] != 1 {
+				t.Errorf("tuning %+v: subspace %d prepped %d times", tun, i, prepped[i])
+			}
+			for j := 0; j < n; j++ {
+				if !covered[i][j] {
+					t.Errorf("tuning %+v: subspace %d candidate %d never covered", tun, i, j)
+				}
+			}
+			wantLast := 0
+			if n > 0 {
+				wantLast = 1
+			}
+			if last[i] != wantLast {
+				t.Errorf("tuning %+v: subspace %d saw %d last-chunk signals, want %d", tun, i, last[i], wantLast)
+			}
+		}
+	}
+}
+
+// TestStressAbort aborts mid-flight: workers must all exit, and chunks
+// that were acquired before the abort still balance their Done calls.
+func TestStressAbort(t *testing.T) {
+	const (
+		numSub  = 40
+		workers = 8
+	)
+	sizes := make([]int, numSub)
+	for i := range sizes {
+		sizes[i] = 50 + i
+	}
+	s := New(numSub, workers, Tuning{ChunkSize: 5})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			count := 0
+			for {
+				u, ok := s.Acquire()
+				if !ok {
+					return
+				}
+				count++
+				if w == 0 && count == 10 {
+					s.Abort()
+				}
+				if u.Prep {
+					s.Publish(u.Sub, sizes[u.Sub])
+					continue
+				}
+				s.Done(u.Sub)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, ok := s.Acquire(); ok {
+		t.Error("Acquire after aborted drain returned ok=true")
+	}
+}

@@ -163,7 +163,12 @@ type Record struct {
 	// Work holds the engine's cumulative counters over all completed
 	// queries, keyed by the snake_case names of stats.Snapshot.Each.
 	Work map[string]int64 `json:"work,omitempty"`
-	Mem  Mem              `json:"mem"`
+	// Gauges holds derived float metrics that are not work counters —
+	// e.g. the skew experiment's worker imbalance ratios. Additive and
+	// optional, so it needs no schema bump; benchdiff compares gauges
+	// only when a series carries them on both sides.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	Mem    Mem                `json:"mem"`
 }
 
 // Key identifies a record's series for cross-file matching.

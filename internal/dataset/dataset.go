@@ -196,6 +196,12 @@ func (d *Dataset) Attr(i int) []float64 {
 	return d.attrFlat[i*d.attrDim : (i+1)*d.attrDim : (i+1)*d.attrDim]
 }
 
+// AttrsFlat returns the row-major flat attribute matrix and its row
+// stride: object i's vector occupies rows[i*stride:(i+1)*stride]. It is
+// the batch-kernel companion of Attr (vectormath.DotsAt reads many rows
+// without per-row slicing). Callers must not modify the slice.
+func (d *Dataset) AttrsFlat() (rows []float64, stride int) { return d.attrFlat, d.attrDim }
+
 // AttrNorm returns the precomputed Euclidean norm of the attribute vector
 // at position i. It equals vectormath.Norm(Object(i).Attr) bit-for-bit
 // (same accumulation order), so cosine kernels can divide by it instead of

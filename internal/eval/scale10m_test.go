@@ -1,0 +1,33 @@
+package eval
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScale10M proves the 10M-POI Gaode-like corpus can be generated,
+// indexed, and answered end to end. It needs several GB of memory and
+// minutes of wall time, so it is double-gated: skipped in -short mode
+// and unless SEQ_SCALE10M=1 is set (scripts/check.sh runs the full
+// non-short test tree and must not pay for this on every verify).
+//
+//	SEQ_SCALE10M=1 go test -run TestScale10M -timeout 30m ./internal/eval/
+func TestScale10M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-POI smoke skipped in -short mode")
+	}
+	if os.Getenv("SEQ_SCALE10M") == "" {
+		t.Skip("10M-POI smoke skipped; set SEQ_SCALE10M=1 to run")
+	}
+	cfg := DefaultConfig()
+	cfg.QueryCount = 3
+	cfg.Budget = 5 * time.Minute
+	var out strings.Builder
+	if err := Scale10M(context.Background(), &out, cfg); err != nil {
+		t.Fatalf("Scale10M: %v\noutput:\n%s", err, out.String())
+	}
+	t.Logf("\n%s", out.String())
+}

@@ -9,6 +9,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"spatialseq/internal/bench"
 	"spatialseq/internal/core"
 	"spatialseq/internal/obs/span"
 	"spatialseq/internal/query"
@@ -20,9 +21,12 @@ import (
 // imbalance report: how unevenly the worker lanes are loaded, what share
 // of the wall time is irreducible critical path, how dominant the largest
 // subspace's candidate load is, and which subspace index stalls the tail
-// most often. These are the baseline numbers the work-stealing scheduler
-// of ROADMAP item 3 has to beat — a steal-enabled run must pull the
-// imbalance ratio toward 1 without moving the critical-path share.
+// most often. When cfg.Rec is attached, each (family, algorithm) cell
+// also emits a bench record whose gauges carry the imbalance/share
+// aggregates, so benchdiff gates skew regressions alongside latency. The
+// EXPERIMENTS.md S1 numbers were this report before work stealing; a
+// steal-enabled run must pull the imbalance ratio toward 1 without
+// moving the critical-path share.
 func SkewBaseline(ctx context.Context, w io.Writer, cfg Config) error {
 	// At least 4 lanes even on small hosts: on a single-core machine the
 	// workers time-share the CPU, so the imbalance ratio degrades to a
@@ -63,6 +67,7 @@ func SkewBaseline(ctx context.Context, w io.Writer, cfg Config) error {
 				100*agg.critShareSum/float64(agg.skewed),
 				100*agg.maxSubShareSum/float64(agg.ran),
 				modeLabel(agg.stragglers))
+			recordSkew(cfg, f, n, algo, agg)
 		}
 	}
 	return rp.flush(tw)
@@ -71,12 +76,41 @@ func SkewBaseline(ctx context.Context, w io.Writer, cfg Config) error {
 // skewAgg accumulates per-query skew reports for one (family, algorithm)
 // cell.
 type skewAgg struct {
-	ran            int     // queries completed
-	skewed         int     // queries that produced a skew report
-	imbSum, imbMax float64 // imbalance ratio
-	critShareSum   float64 // critical path / span extent
-	maxSubShareSum float64 // largest subspace's candidates / all candidates
-	stragglers     []int32 // straggler subspace per query
+	ran            int       // queries completed
+	skewed         int       // queries that produced a skew report
+	imbSum, imbMax float64   // imbalance ratio
+	critShareSum   float64   // critical path / span extent
+	maxSubShareSum float64   // largest subspace's candidates / all candidates
+	stragglers     []int32   // straggler subspace per query
+	latenciesMS    []float64 // per-query wall time
+}
+
+// recordSkew emits one bench record per (family, algorithm) cell. The
+// skew aggregates travel as gauges, not work counters: they are derived
+// float ratios, and the parallel counter totals underneath them are not
+// run-deterministic, so only the gauges and latencies are gate-worthy.
+func recordSkew(cfg Config, f Family, size int, algo core.Algorithm, agg skewAgg) {
+	if cfg.Rec == nil || agg.ran == 0 {
+		return
+	}
+	gauges := map[string]float64{
+		"max_subspace_load_share": agg.maxSubShareSum / float64(agg.ran),
+	}
+	if agg.skewed > 0 {
+		gauges["imbalance_mean"] = agg.imbSum / float64(agg.skewed)
+		gauges["imbalance_max"] = agg.imbMax
+		gauges["critical_path_share"] = agg.critShareSum / float64(agg.skewed)
+	}
+	cfg.Rec.Add(bench.Record{
+		Experiment: "skew",
+		Family:     f.String(),
+		Size:       size,
+		Algorithm:  algo.String(),
+		Queries:    agg.ran,
+		Completed:  agg.ran,
+		Latency:    bench.LatencyOf(agg.latenciesMS),
+		Gauges:     gauges,
+	})
 }
 
 // runSkew runs queries under algo with a fresh span tracer each, until
@@ -90,11 +124,15 @@ func runSkew(ctx context.Context, eng *core.Engine, queries []*query.Query, algo
 		}
 		qctx, cancel := context.WithDeadline(ctx, deadline)
 		qq := *q
-		tr := span.NewTracer()
+		// Work stealing records one span per stolen chunk, so a skewed
+		// query can need far more than the default 512-node arena.
+		tr := span.NewTracerLimits(8192, 0)
 		opt := core.Options{CollectStats: true, Spans: tr}
 		opt.HSP.Parallelism = workers
 		opt.LORA.Parallelism = workers
+		start := time.Now()
 		res, err := eng.Search(qctx, &qq, algo, opt)
+		elapsed := time.Since(start)
 		cancel()
 		if err != nil {
 			if qctx.Err() != nil && ctx.Err() == nil {
@@ -103,6 +141,7 @@ func runSkew(ctx context.Context, eng *core.Engine, queries []*query.Query, algo
 			return agg, err
 		}
 		agg.ran++
+		agg.latenciesMS = append(agg.latenciesMS, float64(elapsed)/float64(time.Millisecond))
 		if res.Stats.Candidates > 0 {
 			agg.maxSubShareSum += float64(res.Stats.SubspaceCandidatesMax) / float64(res.Stats.Candidates)
 		}

@@ -1,0 +1,98 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// DistVectorsAt must produce, per row, exactly what DistVectorAt
+// produces for that row's tuple — same Sqrt expression, bit-for-bit.
+func TestDistVectorsAtMatchesDistVectorAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const n = 150
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+	}
+	for trial := 0; trial < 100; trial++ {
+		m := 2 + rng.Intn(4)
+		rows := rng.Intn(30)
+		tuples := make([]int32, rows*m)
+		for i := range tuples {
+			tuples[i] = int32(rng.Intn(n))
+		}
+		got := DistVectorsAt(xs, ys, tuples, m, nil)
+		pairs := PairCount(m)
+		if len(got) != rows*pairs {
+			t.Fatalf("trial %d: got %d distances, want %d rows x %d pairs", trial, len(got), rows, pairs)
+		}
+		var ref []float64
+		for r := 0; r < rows; r++ {
+			ref = DistVectorAt(xs, ys, tuples[r*m:r*m+m], ref[:0])
+			row := got[r*pairs : (r+1)*pairs]
+			for k := range ref {
+				if row[k] != ref[k] {
+					t.Fatalf("trial %d row %d pair %d: %v != %v", trial, r, k, row[k], ref[k])
+				}
+			}
+		}
+	}
+}
+
+func TestDistVectorsAtDegenerate(t *testing.T) {
+	xs := []float64{0, 3}
+	ys := []float64{0, 4}
+	if out := DistVectorsAt(xs, ys, nil, 2, nil); len(out) != 0 {
+		t.Errorf("no rows = %v", out)
+	}
+	if out := DistVectorsAt(xs, ys, []int32{0, 1}, 0, nil); len(out) != 0 {
+		t.Errorf("m=0 = %v", out)
+	}
+	if out := DistVectorsAt(xs, ys, []int32{0, 1}, 1, nil); len(out) != 0 {
+		t.Errorf("single-dim rows = %v", out)
+	}
+	if out := DistVectorsAt(xs, ys, []int32{0, 1}, 2, nil); len(out) != 1 || out[0] != 5 {
+		t.Errorf("one row = %v, want [5]", out)
+	}
+}
+
+func TestDistVectorsAtZeroAllocWarm(t *testing.T) {
+	xs := make([]float64, 32)
+	ys := make([]float64, 32)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i * 3)
+	}
+	const m = 3
+	tuples := make([]int32, 16*m)
+	for i := range tuples {
+		tuples[i] = int32(i % 32)
+	}
+	dst := DistVectorsAt(xs, ys, tuples, m, nil) // warm
+	if allocs := testing.AllocsPerRun(20, func() {
+		dst = DistVectorsAt(xs, ys, tuples, m, dst)
+	}); allocs != 0 {
+		t.Errorf("warm DistVectorsAt allocated %v per run", allocs)
+	}
+}
+
+func BenchmarkDistVectorsAt(b *testing.B) {
+	xs, ys, _ := benchCoords(64)
+	const (
+		rows = 128
+		m    = 5
+	)
+	tuples := make([]int32, rows*m)
+	for i := range tuples {
+		tuples[i] = int32((i * 7) % len(xs))
+	}
+	dst := DistVectorsAt(xs, ys, tuples, m, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = DistVectorsAt(xs, ys, tuples, m, dst)
+	}
+	benchDistSink = dst
+}

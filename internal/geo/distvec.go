@@ -85,6 +85,43 @@ func DistVectorAt(xs, ys []float64, idx []int32, dst []float64) []float64 {
 	return dst
 }
 
+// DistVectorsAt is the blocked companion of DistVectorAt: tuples holds
+// rows*m point indices (row-major, m per tuple) and the result holds
+// rows*PairCount(m) distances — row r's vector at
+// dst[r*PairCount(m):(r+1)*PairCount(m)], each laid out per PairIndex.
+// The inner arithmetic is the same expression as DistVectorAt, so every
+// row is bit-identical to a scalar call on that tuple. dst is resized
+// as needed and returned.
+//
+//seq:hotpath
+func DistVectorsAt(xs, ys []float64, tuples []int32, m int, dst []float64) []float64 {
+	if m <= 0 {
+		return dst[:0]
+	}
+	rows := len(tuples) / m
+	pairs := PairCount(m)
+	n := rows * pairs
+	if cap(dst) < n {
+		//lint:ignore hotpathalloc grow-once scratch resize; steady-state calls reuse dst at full capacity
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	k := 0
+	for r := 0; r < rows; r++ {
+		idx := tuples[r*m : r*m+m]
+		for j := 1; j < m; j++ {
+			xj, yj := xs[idx[j]], ys[idx[j]]
+			for i := 0; i < j; i++ {
+				dx := xs[idx[i]] - xj
+				dy := ys[idx[i]] - yj
+				dst[k] = math.Sqrt(dx*dx + dy*dy)
+				k++
+			}
+		}
+	}
+	return dst
+}
+
 // Norm returns the 2-norm of v.
 //
 //seq:hotpath

@@ -135,6 +135,19 @@ func (s Span) Subspace(name string, idx int) Span {
 	return s.open(name, s.worker, int32(idx))
 }
 
+// Unit opens a sub-span tagged with both a worker lane and a subspace
+// index: one stolen work unit (a subspace prep, or a chunk of a
+// subspace's root candidates) executed by worker w. The stealing paths
+// emit these directly under the algorithm root — there is no long-lived
+// per-goroutine container span, because a worker parked on the
+// scheduler is idle and must not count as busy in Tree.Skew's
+// imbalance accounting.
+//
+//seq:hotpath
+func (s Span) Unit(name string, w, idx int) Span {
+	return s.open(name, int32(w), int32(idx))
+}
+
 //seq:hotpath
 func (s Span) open(name string, worker, subspace int32) Span {
 	if s.t == nil {

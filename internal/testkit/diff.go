@@ -9,6 +9,7 @@ import (
 	"spatialseq/internal/algo/dfsprune"
 	"spatialseq/internal/algo/hsp"
 	"spatialseq/internal/algo/lora"
+	"spatialseq/internal/algo/sched"
 	"spatialseq/internal/dataset"
 	"spatialseq/internal/query"
 	"spatialseq/internal/simil"
@@ -78,6 +79,12 @@ type DiffConfig struct {
 	// n-th query (0 disables) — the concurrent top-k must stay
 	// tuple-deterministic.
 	ParallelEvery int
+	// StealChunkSizes additionally forces the work-stealing scheduler's
+	// chunk size to each listed value on the ParallelEvery queries
+	// (sched.Tuning.ChunkSize semantics: 1 is the adversarial
+	// per-candidate split, -1 disables splitting). HSP must stay exact
+	// at every granularity; LORA (when CheckLORA) must stay valid.
+	StealChunkSizes []int
 	// CheckLORA also validates LORA results (feasibility + domination).
 	CheckLORA bool
 	// Shrink reduces the first failing case to a minimal counterexample
@@ -163,6 +170,13 @@ func RunDiff(ctx context.Context, cfg DiffConfig) (*DiffReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("testkit: case %s: %w", c, err)
 		}
+		if parallel && len(cfg.StealChunkSizes) > 0 {
+			steal, err := CheckCaseSteal(ctx, c, cfg.StealChunkSizes, cfg.CheckLORA)
+			if err != nil {
+				return rep, fmt.Errorf("testkit: case %s (steal): %w", c, err)
+			}
+			found = append(found, steal...)
+		}
 		if len(found) > 0 && cfg.Shrink {
 			shrinkFirst(ctx, c, found)
 		}
@@ -208,6 +222,34 @@ func CheckCase(ctx context.Context, c *Case, parallel, checkLORA bool) ([]Mismat
 			return out, fmt.Errorf("lora: %w", err)
 		}
 		out = append(out, CheckApprox(c, want, approx)...)
+	}
+	return out, nil
+}
+
+// CheckCaseSteal re-runs one case through the parallel paths with the
+// work-stealing scheduler forced to each chunk size: HSP compared
+// tuple-for-tuple against the brute oracle (exactness must hold at any
+// steal granularity, including chunk=1), LORA re-validated for
+// feasibility and domination.
+func CheckCaseSteal(ctx context.Context, c *Case, chunkSizes []int, checkLORA bool) ([]Mismatch, error) {
+	ix := testutil.BuildIndex(c.DS)
+	want := brute.Search(c.DS, c.Q)
+	var out []Mismatch
+	for _, cs := range chunkSizes {
+		tun := sched.Tuning{ChunkSize: cs}
+		got, err := hsp.Search(ctx, c.DS, ix, c.Q, hsp.Options{Parallelism: 4, Steal: tun})
+		if err != nil {
+			return out, fmt.Errorf("hsp steal chunk=%d: %w", cs, err)
+		}
+		out = append(out, CompareExact(c, fmt.Sprintf("hsp-steal-%d", cs), want, got)...)
+
+		if checkLORA {
+			approx, err := lora.Search(ctx, c.DS, ix, c.Q, lora.Options{Parallelism: 4, Steal: tun})
+			if err != nil {
+				return out, fmt.Errorf("lora steal chunk=%d: %w", cs, err)
+			}
+			out = append(out, CheckApprox(c, want, approx)...)
+		}
 	}
 	return out, nil
 }

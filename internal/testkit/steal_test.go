@@ -1,0 +1,42 @@
+package testkit
+
+import (
+	"context"
+	"testing"
+
+	"spatialseq/internal/query"
+)
+
+// TestStealDifferentialSuite is the differential gate for the
+// work-stealing scheduler: every fifth query additionally re-runs the
+// parallel HSP and LORA paths with the chunk size forced to 1 (each
+// dim-0 candidate its own steal unit), a small odd size, and -1
+// (whole-subspace units). HSP must match the brute oracle
+// tuple-for-tuple at every granularity; LORA must keep its
+// approximation contract.
+func TestStealDifferentialSuite(t *testing.T) {
+	rep, err := RunDiff(context.Background(), DiffConfig{
+		Seed:            20260808,
+		Queries:         120,
+		FixedPointEvery: 3,
+		SEQEvery:        7,
+		ParallelEvery:   5,
+		StealChunkSizes: []int{1, 3, -1},
+		CheckLORA:       true,
+		Shrink:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 120 {
+		t.Fatalf("ran %d queries, want 120", rep.Queries)
+	}
+	for _, v := range []string{query.CSEQ.String(), query.CSEQFP.String(), query.SEQ.String()} {
+		if rep.ByVariant[v] == 0 {
+			t.Errorf("variant %s never exercised: %v", v, rep.ByVariant)
+		}
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("steal differential mismatch: %s", m)
+	}
+}

@@ -1,0 +1,133 @@
+package vectormath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// DotsAt must be bit-identical to Dot over each gathered row — it is the
+// blocked inner kernel of the batched attribute scorer, so any change in
+// accumulation order would change similarity scores.
+func TestDotsAtMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const (
+		rows   = 100
+		stride = 24
+	)
+	flat := make([]float64, rows*stride)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	q := make([]float64, stride)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(rng.Intn(rows))
+		}
+		dst := make([]float64, n)
+		DotsAt(dst, q, flat, stride, idx)
+		for i, p := range idx {
+			row := flat[int(p)*stride : (int(p)+1)*stride]
+			if want := Dot(q, row); dst[i] != want {
+				t.Fatalf("trial %d row %d: DotsAt = %v, Dot = %v", trial, p, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestDotsAtPanicsOnMismatch(t *testing.T) {
+	flat := make([]float64, 8)
+	for _, tc := range []struct {
+		name   string
+		dst    []float64
+		q      []float64
+		stride int
+		idx    []int32
+	}{
+		{"dst-len", make([]float64, 1), []float64{1, 2}, 2, []int32{0, 1}},
+		{"stride", make([]float64, 2), []float64{1, 2, 3}, 2, []int32{0, 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			DotsAt(tc.dst, tc.q, flat, tc.stride, tc.idx)
+		})
+	}
+}
+
+func TestDotsAtZeroAlloc(t *testing.T) {
+	flat := make([]float64, 64*8)
+	for i := range flat {
+		flat[i] = float64(i)
+	}
+	q := make([]float64, 8)
+	idx := make([]int32, 32)
+	for i := range idx {
+		idx[i] = int32(i * 2)
+	}
+	dst := make([]float64, len(idx))
+	if allocs := testing.AllocsPerRun(20, func() {
+		DotsAt(dst, q, flat, 8, idx)
+	}); allocs != 0 {
+		t.Errorf("DotsAt allocated %v per run", allocs)
+	}
+}
+
+var benchDotsSink float64
+
+func BenchmarkDotScalarLoop(b *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	const (
+		rows   = 256
+		stride = 24
+	)
+	flat := make([]float64, rows*stride)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	q := make([]float64, stride)
+	idx := make([]int32, rows)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	dst := make([]float64, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range idx {
+			dst[j] = Dot(q, flat[int(p)*stride:(int(p)+1)*stride])
+		}
+	}
+	benchDotsSink = dst[0]
+}
+
+func BenchmarkDotsAt(b *testing.B) {
+	rng := rand.New(rand.NewSource(72))
+	const (
+		rows   = 256
+		stride = 24
+	)
+	flat := make([]float64, rows*stride)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	q := make([]float64, stride)
+	idx := make([]int32, rows)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	dst := make([]float64, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotsAt(dst, q, flat, stride, idx)
+	}
+	benchDotsSink = dst[0]
+}

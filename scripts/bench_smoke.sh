@@ -14,8 +14,10 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_smoke.json}"
 
+# skew rides along so the worker-imbalance gauges (work stealing's
+# target metric) are part of every baseline benchdiff gates on.
 go run ./cmd/seqbench \
-    -exp table2-gaode,table3 \
+    -exp table2-gaode,table3,skew \
     -sizes 200,500 -queries 3 -budget 10s -seed 1 \
     -json "$out" >/dev/null
 
