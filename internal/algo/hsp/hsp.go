@@ -24,6 +24,7 @@ import (
 
 	"spatialseq/internal/algo/sched"
 	"spatialseq/internal/dataset"
+	"spatialseq/internal/geo"
 	"spatialseq/internal/obs"
 	"spatialseq/internal/obs/span"
 	"spatialseq/internal/partition"
@@ -65,6 +66,18 @@ type Options struct {
 	// Steal tunes the work-unit scheduler of the parallel path (chunk
 	// sizing of the stolen dim-0 ranges). The zero value auto-sizes.
 	Steal sched.Tuning
+	// Own, when non-nil, restricts the search to the subspaces whose core
+	// rectangle it claims. The sharded serving tier hands each shard a
+	// disjoint claim over the subspace cores: Lemma 1 enumerates every
+	// candidate tuple in exactly one core subspace, so the union of the
+	// shards' filtered searches equals the unfiltered search. Must be
+	// pure (same answer for the same rectangle within one call).
+	Own func(core geo.Rect) bool
+	// Sink, when non-nil, replaces the internally allocated top-k
+	// collector. It must be safe for concurrent use when Parallelism > 1.
+	// The sharded tier injects a sink that couples the shard-local top-k
+	// to the cross-shard pruning-threshold exchange.
+	Sink topk.ResultSink
 	// Stats, when non-nil, collects per-search counters (subspaces,
 	// candidates, pruned prefixes, scored tuples).
 	Stats *stats.Stats
@@ -112,6 +125,9 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 		if fixed0 >= 0 && !ss.Core.Contains(ds.Loc(int(fixed0))) {
 			continue
 		}
+		if opt.Own != nil && !opt.Own(ss.Core) {
+			continue
+		}
 		work = append(work, ss)
 	}
 
@@ -139,7 +155,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 		sp.End()
 	}
 	if workers <= 1 {
-		heap := topk.New(q.Params.K)
+		var heap topk.ResultSink = topk.New(q.Params.K)
+		if opt.Sink != nil {
+			heap = opt.Sink
+		}
 		s := newSearcher(ctx, sctx, heap, opt)
 		ws := opt.Span.Worker("hsp.worker", 0)
 		for i, ss := range work {
@@ -161,7 +180,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 		return res, nil
 	}
 
-	sink := topk.NewConcurrent(q.Params.K)
+	var sink topk.ResultSink = topk.NewConcurrent(q.Params.K)
+	if opt.Sink != nil {
+		sink = opt.Sink
+	}
 	tun := opt.Steal
 	if tun.MinChunk <= 0 {
 		tun.MinChunk = hspMinChunk

@@ -71,6 +71,14 @@ type Options struct {
 	// Steal tunes the work-unit scheduler of the parallel path (chunk
 	// sizing of the stolen root-cell ranges). The zero value auto-sizes.
 	Steal sched.Tuning
+	// Own, when non-nil, restricts the search to the subspaces whose core
+	// rectangle it claims; see hsp.Options.Own. Lemma 1's exactly-once
+	// discipline makes the union over a disjoint claim set equal the
+	// unfiltered search (up to LORA's usual sampling approximation).
+	Own func(core geo.Rect) bool
+	// Sink, when non-nil, replaces the internally allocated top-k
+	// collector. It must be safe for concurrent use when Parallelism > 1.
+	Sink topk.ResultSink
 	// Stats, when non-nil, collects per-search counters (subspaces,
 	// cell tuples, rank-graph pops, sampling discards).
 	Stats *stats.Stats
@@ -111,6 +119,9 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 		if fixed0 >= 0 && !ss.Core.Contains(ds.Loc(int(fixed0))) {
 			continue
 		}
+		if opt.Own != nil && !opt.Own(ss.Core) {
+			continue
+		}
 		work = append(work, ss)
 	}
 
@@ -136,7 +147,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 		sp.End()
 	}
 	if workers <= 1 {
-		heap := topk.New(q.Params.K)
+		var heap topk.ResultSink = topk.New(q.Params.K)
+		if opt.Sink != nil {
+			heap = opt.Sink
+		}
 		s := newSearcher(ctx, sctx, heap, q, opt)
 		ws := opt.Span.Worker("lora.worker", 0)
 		for i, ss := range work {
@@ -158,7 +172,10 @@ func Search(ctx context.Context, ds *dataset.Dataset, ix *partition.Index, q *qu
 		return res, nil
 	}
 
-	sink := topk.NewConcurrent(q.Params.K)
+	var sink topk.ResultSink = topk.NewConcurrent(q.Params.K)
+	if opt.Sink != nil {
+		sink = opt.Sink
+	}
 	run := &stealRun{
 		sch:   sched.New(len(work), workers, opt.Steal),
 		work:  work,

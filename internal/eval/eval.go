@@ -106,8 +106,9 @@ func (a *AlgoRun) AvgSim() float64 {
 // is cut short with TimedOut=true and the completed prefix retained; an
 // engine error likewise cuts the run short but lands in Err, so callers
 // can tell a slow algorithm from a broken query. The run always collects
-// the engine's work counters (Work) and allocation deltas.
-func RunQueries(ctx context.Context, eng *core.Engine, queries []*query.Query, algo core.Algorithm, opt core.Options, budget time.Duration) *AlgoRun {
+// the engine's work counters (Work) and allocation deltas. eng is any
+// core.Searcher — a single engine or the sharded coordinator.
+func RunQueries(ctx context.Context, eng core.Searcher, queries []*query.Query, algo core.Algorithm, opt core.Options, budget time.Duration) *AlgoRun {
 	run := &AlgoRun{Algo: algo, Attempted: len(queries)}
 	opt.CollectStats = true
 	var m0 runtime.MemStats

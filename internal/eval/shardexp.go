@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"spatialseq/internal/bench"
+	"spatialseq/internal/core"
+	"spatialseq/internal/shard"
+	"spatialseq/internal/workload"
+)
+
+// shardCounts is the scatter-gather sweep: 1 is the coordinator's
+// overhead baseline against a bare engine, then doublings up to 8.
+var shardCounts = []int{1, 2, 4, 8}
+
+// ShardScaling measures the in-process scatter-gather tier across shard
+// counts: per-query latency through the coordinator, the aggregate
+// engine work, and the cross-shard skew of that work (the spread of the
+// per-shard busy-time and candidate counters the coordinator also
+// exports on /metrics). One bench record lands per (size, shard count)
+// cell.
+//
+// Note the work counters for >1 shard are not run-deterministic: the
+// shared pruning floor tightens at racy times, so each shard's candidate
+// volume varies between runs (the answers do not — the differential
+// suite pins that). Latency and the skew gauges are the comparable
+// series.
+func ShardScaling(ctx context.Context, w io.Writer, cfg Config) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	rp := &report{}
+	rp.printf(w, "Sharded scatter-gather scaling (HSP, Gaode-like, up to %d queries per cell)\n", cfg.QueryCount)
+	rp.println(tw, "size\tshards\tqueries\tmean\tp95\tbusy skew\twork skew\tstraggler")
+	for _, n := range cfg.Sizes {
+		data, err := familyDataset(Gaode, n, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		queries, err := workload.Generate(data, familyWorkload(Gaode, cfg))
+		if err != nil {
+			return err
+		}
+		for _, sc := range shardCounts {
+			coord := shard.New(data, shard.Config{Shards: sc})
+			run := RunQueries(ctx, coord, queries, core.HSP, core.Options{}, cfg.Budget)
+			if run.Err != nil {
+				return fmt.Errorf("shards=%d size=%d: %w", sc, n, run.Err)
+			}
+			if run.Completed() == 0 {
+				rp.printf(tw, "%d\t%d\t(no query finished within %s)\t\t\t\t\t\n", n, sc, cfg.Budget)
+				continue
+			}
+			busySkew, workSkew, straggler := shardSkew(coord)
+			rp.printf(tw, "%d\t%d\t%d\t%s\t%s\t%.2f\t%.2f\t%d\n",
+				n, sc, run.Completed(), run.MeanTime().Round(time.Microsecond),
+				run.Percentile(95).Round(time.Microsecond), busySkew, workSkew, straggler)
+			recordShard(cfg, n, sc, run, busySkew, workSkew)
+		}
+	}
+	return rp.flush(tw)
+}
+
+// shardSkew derives the cross-shard imbalance of a finished run from the
+// coordinator's cumulative per-shard series: max/mean of busy time, the
+// same for total work-counter volume, and the index of the busiest
+// shard. A perfectly balanced plan reports 1.0.
+func shardSkew(c *shard.Coordinator) (busySkew, workSkew float64, straggler int) {
+	busy := c.BusyByShard()
+	var busyTotal, busyMax time.Duration
+	for i, d := range busy {
+		busyTotal += d
+		if d > busyMax {
+			busyMax, straggler = d, i
+		}
+	}
+	if busyTotal > 0 {
+		busySkew = float64(busyMax) * float64(len(busy)) / float64(busyTotal)
+	}
+	var workTotal, workMax int64
+	for _, snap := range c.WorkByShard() {
+		var sum int64
+		snap.Each(func(_ string, v int64) { sum += v })
+		workTotal += sum
+		if sum > workMax {
+			workMax = sum
+		}
+	}
+	if workTotal > 0 {
+		workSkew = float64(workMax) * float64(c.Shards()) / float64(workTotal)
+	}
+	return busySkew, workSkew, straggler
+}
+
+// recordShard emits the bench record for one (size, shard count) cell.
+func recordShard(cfg Config, size, shards int, run *AlgoRun, busySkew, workSkew float64) {
+	if cfg.Rec == nil {
+		return
+	}
+	cfg.Rec.Add(bench.Record{
+		Experiment: "shard",
+		Family:     Gaode.String(),
+		Label:      fmt.Sprintf("shards=%d", shards),
+		Size:       size,
+		Algorithm:  run.Algo.String(),
+		Queries:    run.Attempted,
+		Completed:  run.Completed(),
+		TimedOut:   run.TimedOut,
+		AvgSim:     run.AvgSim(),
+		Latency:    bench.LatencyOf(run.LatenciesMS()),
+		Work:       bench.WorkMap(run.Work),
+		Gauges: map[string]float64{
+			"busy_skew": busySkew,
+			"work_skew": workSkew,
+		},
+		Mem: bench.Mem{
+			AllocBytes:     run.AllocBytes,
+			Mallocs:        run.Mallocs,
+			HeapDeltaBytes: run.HeapDeltaBytes,
+		},
+	})
+}

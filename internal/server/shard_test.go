@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/obs/flight"
+	"spatialseq/internal/shard"
+	"spatialseq/internal/testutil"
+)
+
+func newShardedServer(t *testing.T, cfg Config) (*httptest.Server, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(71)) // same corpus as newTestServer
+	ds := testutil.RandDataset(rng, 400, 3, 4, 100)
+	ts := httptest.NewServer(NewWith(core.NewEngine(ds), cfg))
+	t.Cleanup(ts.Close)
+	return ts, ds
+}
+
+// TestShardedSearchMatchesSingleEngine drives the same query through an
+// unsharded server and a -shards 4 server over the same corpus: the
+// /search payloads must agree result-for-result (the HTTP-level face of
+// the differential guarantee).
+func TestShardedSearchMatchesSingleEngine(t *testing.T) {
+	single, ds := newTestServer(t)
+	sharded, _ := newShardedServer(t, Config{Shards: 4})
+	for _, algo := range []string{"hsp", "auto", "brute", "dfs"} {
+		req := searchReq(ds)
+		req.Algorithm = algo
+		req.K = 5
+		resp1, body1 := postSearch(t, single, req)
+		resp2, body2 := postSearch(t, sharded, req)
+		if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+			t.Fatalf("algo %s: status %d vs %d: %s / %s", algo, resp1.StatusCode, resp2.StatusCode, body1, body2)
+		}
+		var a, b SearchResponse
+		if err := json.Unmarshal(body1, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(body2, &b); err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Results) == 0 {
+			t.Fatalf("algo %s: single engine returned no results", algo)
+		}
+		if !reflect.DeepEqual(a.Results, b.Results) {
+			t.Errorf("algo %s: sharded results diverge:\nsingle:  %+v\nsharded: %+v", algo, a.Results, b.Results)
+		}
+	}
+}
+
+// erroringBackend fails every leg.
+type erroringBackend struct{ err error }
+
+func (e *erroringBackend) Search(context.Context, *shard.Request) (*shard.Response, error) {
+	return nil, e.err
+}
+
+// stallingBackend holds the leg open until the request budget expires.
+type stallingBackend struct{}
+
+func (*stallingBackend) Search(ctx context.Context, _ *shard.Request) (*shard.Response, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestShardFailureReturns502 is the fault-injection contract at the
+// HTTP boundary: a broken shard backend yields 502 Bad Gateway (never a
+// silently truncated 200) and the failure is visible in
+// http_requests_total under its own code label.
+func TestShardFailureReturns502(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ds := testutil.RandDataset(rng, 400, 3, 4, 100)
+	coord := shard.New(ds, shard.Config{Backends: []shard.Backend{
+		shard.NewLocal(core.NewEngine(ds), nil, 0),
+		&erroringBackend{err: fmt.Errorf("replica lost")},
+	}})
+	ts := httptest.NewServer(NewWith(core.NewEngine(ds), Config{Coordinator: coord}))
+	t.Cleanup(ts.Close)
+
+	resp, body := postSearch(t, ts, searchReq(ds))
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502; body = %s", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "shard 1") || !strings.Contains(er.Error, "replica lost") {
+		t.Errorf("error body %q does not name the failed shard and cause", er.Error)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mr.Body); err != nil {
+		t.Fatal(err)
+	}
+	want := `spatialseq_http_requests_total{endpoint="/search",code="502"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("metrics output missing %q", want)
+	}
+}
+
+// TestShardStallReturns504 pins the budget path: a shard that never
+// answers exhausts the request timeout and maps to 504 Gateway Timeout,
+// distinct from the 502 of a broken shard.
+func TestShardStallReturns504(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ds := testutil.RandDataset(rng, 400, 3, 4, 100)
+	coord := shard.New(ds, shard.Config{Backends: []shard.Backend{
+		shard.NewLocal(core.NewEngine(ds), nil, 0),
+		&stallingBackend{},
+	}})
+	ts := httptest.NewServer(NewWith(core.NewEngine(ds), Config{
+		Coordinator: coord,
+		Timeout:     100 * time.Millisecond,
+	}))
+	t.Cleanup(ts.Close)
+
+	resp, body := postSearch(t, ts, searchReq(ds))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body = %s", resp.StatusCode, body)
+	}
+}
+
+// TestShardedFlightRecords populates the flight recorder's reserved
+// shard ID end-to-end: a sharded /search leaves one record per shard
+// leg, each stamped with its shard ID, none carrying a replay capture
+// (shard-partial work counters must never masquerade as a replayable
+// whole-query record), and /debug/queries renders the shard column.
+func TestShardedFlightRecords(t *testing.T) {
+	rec := flight.New(flight.Config{})
+	ts, ds := newShardedServer(t, Config{Shards: 3, Flight: rec})
+	resp, body := postSearch(t, ts, searchReq(ds))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+
+	recs := rec.Recent(16)
+	if len(recs) != 3 {
+		t.Fatalf("flight recorder holds %d records after one 3-shard query, want 3", len(recs))
+	}
+	seen := map[int32]bool{}
+	for _, r := range recs {
+		if r.ShardID == flight.NoShard {
+			t.Errorf("record seq=%d carries NoShard; shard engines must stamp their ID", r.Seq)
+			continue
+		}
+		if r.ShardID < 0 || r.ShardID >= 3 {
+			t.Errorf("record seq=%d carries shard ID %d, want 0..2", r.Seq, r.ShardID)
+		}
+		if seen[r.ShardID] {
+			t.Errorf("shard %d emitted two records for one query", r.ShardID)
+		}
+		seen[r.ShardID] = true
+		if r.Capture != nil {
+			t.Errorf("shard %d record carries a replay capture; shard-partial records must not", r.ShardID)
+		}
+	}
+
+	dr, err := http.Get(ts.URL + "/debug/queries?format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(dr.Body); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if !strings.Contains(page, "<th>shard</th>") {
+		t.Error("/debug/queries lacks the shard column header")
+	}
+	// Each leg row renders its numeric shard ID (NoShard renders blank).
+	for id := 0; id < 3; id++ {
+		if !strings.Contains(page, fmt.Sprintf("<td>%d</td>", id)) {
+			t.Errorf("/debug/queries does not render shard %d's row", id)
+		}
+	}
+}
+
+// TestUnshardedFlightRecordsKeepNoShard is the control: without
+// sharding the single record keeps the NoShard sentinel and retains its
+// capture eligibility.
+func TestUnshardedFlightRecordsKeepNoShard(t *testing.T) {
+	rec := flight.New(flight.Config{})
+	ts, ds := newShardedServer(t, Config{Shards: 1, Flight: rec})
+	resp, body := postSearch(t, ts, searchReq(ds))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	recs := rec.Recent(16)
+	if len(recs) != 1 {
+		t.Fatalf("flight recorder holds %d records, want 1", len(recs))
+	}
+	if recs[0].ShardID != flight.NoShard {
+		t.Errorf("unsharded record carries shard ID %d, want NoShard", recs[0].ShardID)
+	}
+}

@@ -1,0 +1,166 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"spatialseq/internal/algo/brute"
+	"spatialseq/internal/core"
+	"spatialseq/internal/dataset"
+	"spatialseq/internal/query"
+	"spatialseq/internal/shard"
+	"spatialseq/internal/testkit"
+	"spatialseq/internal/topk"
+)
+
+// shardCounts is the sweep every differential case runs at. 1 pins the
+// degenerate single-shard coordinator to the engine's answer, 2 and 3
+// exercise uneven splits (3 is never a clean power-of-two cut), and 8
+// exceeds the natural cluster count of every testkit shape, so some
+// shards own almost nothing — the regime where a wrong ownership claim
+// or threshold share is most visible.
+var shardCounts = []int{1, 2, 3, 8}
+
+// entriesOf converts a coordinator result to the oracle's entry shape.
+func entriesOf(res *core.Result) []topk.Entry {
+	out := make([]topk.Entry, len(res.Tuples))
+	for i, t := range res.Tuples {
+		out[i] = topk.Entry{Tuple: t.Positions, Sim: t.Sim}
+	}
+	return out
+}
+
+// coordFunc adapts a coordinator configuration to testkit.SearchFunc: a
+// fresh coordinator (plan, engines, threshold exchange) is built over
+// each case's dataset, exactly as the server would build one over a
+// loaded corpus.
+func coordFunc(shards int, algo core.Algorithm, parallelism int) testkit.SearchFunc {
+	return func(ctx context.Context, ds *dataset.Dataset, q *query.Query) ([]topk.Entry, error) {
+		c := shard.New(ds, shard.Config{Shards: shards, Parallelism: parallelism})
+		qq := *q // Search normalizes params in place
+		res, err := c.Search(ctx, &qq, algo, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return entriesOf(res), nil
+	}
+}
+
+// TestShardedDifferential is the acceptance gate of the sharded tier:
+// every seeded recipe of the main differential suite (same seed, same
+// schedule — testkit.DiffConfig.CaseAt is the shared source) runs
+// through the scatter-gather coordinator at shard counts {1, 2, 3, 8}
+// and must agree tuple-for-tuple with the brute-force oracle. The main
+// suite already proves the single engine agrees with brute, so
+// agreement here is transitively agreement with the single-engine
+// answer. Every 5th case also runs with intra-shard parallelism 4
+// (concurrent sinks under a shared threshold floor), and every 6th
+// routes DFS-Prune through the coordinator's unpartitioned path.
+func TestShardedDifferential(t *testing.T) {
+	queries := 510
+	if testing.Short() {
+		queries = 120
+	}
+	cfg := testkit.DiffConfig{
+		Seed:            20250805, // the main suite's seed: identical recipes
+		Queries:         queries,
+		FixedPointEvery: 3,
+		SEQEvery:        7,
+	}
+	ctx := context.Background()
+	mismatches := 0
+	for i := 0; i < queries && mismatches < 5; i++ {
+		c := cfg.CaseAt(i)
+		if err := c.Generate(); err != nil {
+			t.Fatal(err)
+		}
+		want := brute.Search(c.DS, c.Q)
+		for _, n := range shardCounts {
+			par := 0
+			if i%5 == 0 {
+				par = 4
+			}
+			coord := shard.New(c.DS, shard.Config{Shards: n, Parallelism: par})
+			qq := *c.Q
+			res, err := coord.Search(ctx, &qq, core.HSP, core.Options{})
+			if err != nil {
+				t.Fatalf("case %s shards=%d: %v", c, n, err)
+			}
+			name := fmt.Sprintf("shard%d-hsp", n)
+			if par > 0 {
+				name += "-par"
+			}
+			for _, m := range testkit.CompareExact(c, name, want, entriesOf(res)) {
+				t.Errorf("sharded mismatch: %s", m)
+				mismatches++
+			}
+		}
+		if i%6 == 0 {
+			// Unpartitioned algorithms route to a single leg that sees the
+			// whole dataset; the answer must still be exact.
+			ms, err := testkit.CheckCaseAgainst(ctx, c, "shard2-dfs", coordFunc(2, core.DFSPrune, 0))
+			if err != nil {
+				t.Fatalf("case %s: %v", c, err)
+			}
+			for _, m := range ms {
+				t.Errorf("sharded mismatch: %s", m)
+				mismatches++
+			}
+		}
+	}
+}
+
+// TestShardedLORAContract validates the sharded approximate path: LORA
+// through the coordinator must satisfy the same feasibility and
+// domination contract as single-engine LORA. Tuple equality is NOT
+// asserted — LORA's early stops are threshold-timing-dependent, and the
+// shared floor can legitimately tighten at different points than a
+// single engine's local threshold.
+func TestShardedLORAContract(t *testing.T) {
+	queries := 90
+	if testing.Short() {
+		queries = 30
+	}
+	cfg := testkit.DiffConfig{Seed: 20250805, Queries: queries, FixedPointEvery: 3, SEQEvery: 7}
+	ctx := context.Background()
+	for i := 0; i < queries; i++ {
+		c := cfg.CaseAt(i)
+		if err := c.Generate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range shardCounts {
+			ms, err := testkit.CheckApproxAgainst(ctx, c,
+				fmt.Sprintf("shard%d-lora", n), coordFunc(n, core.LORA, 0))
+			if err != nil {
+				t.Fatalf("case %s shards=%d: %v", c, n, err)
+			}
+			for _, m := range ms {
+				t.Errorf("sharded LORA contract: %s", m)
+			}
+		}
+	}
+}
+
+// TestShardedAutoResolvesOnce pins the coordinator's algorithm
+// resolution: Auto is resolved once at the coordinator (from global
+// candidate volume), every shard runs the same algorithm, and the
+// result reports the resolved one — never Auto.
+func TestShardedAutoResolvesOnce(t *testing.T) {
+	c := testkit.DiffConfig{Seed: 42}.CaseAt(0)
+	if err := c.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	coord := shard.New(c.DS, shard.Config{Shards: 3})
+	qq := *c.Q
+	res, err := coord.Search(context.Background(), &qq, core.Auto, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm == core.Auto {
+		t.Fatalf("result reports unresolved Auto")
+	}
+	if want := core.Choose(c.DS, c.Q, core.Auto); res.Algorithm != want {
+		t.Fatalf("coordinator resolved %v, package-level Choose says %v", res.Algorithm, want)
+	}
+}

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"math"
+	"sync/atomic"
+
+	"spatialseq/internal/topk"
+)
+
+// Exchange is the cross-shard pruning-threshold bus of one scatter: each
+// shard republishes its local top-k threshold (topk.Concurrent.Threshold,
+// monotone per shard) after every insert, and every shard prunes against
+// the maximum published so far. The floor is exact, not heuristic: a
+// published value tau is some shard's k-th best similarity, so at least k
+// tuples with similarity >= tau exist globally and a candidate strictly
+// below tau is beaten by all of them. Candidates equal to tau still pass
+// (the deterministic tie-break decides them at merge), which is what
+// keeps the sharded answer tuple-for-tuple identical to the single
+// engine's.
+type Exchange struct {
+	floor atomic.Uint64 // math.Float64bits of the global threshold floor
+}
+
+// NewExchange returns an exchange with the floor at -Inf.
+func NewExchange() *Exchange {
+	e := &Exchange{}
+	e.floor.Store(math.Float64bits(math.Inf(-1)))
+	return e
+}
+
+// Publish raises the floor to thr if it is higher (atomic max; lower or
+// equal values are no-ops, so stale publishes cannot loosen the floor).
+//
+//seq:hotpath
+func (e *Exchange) Publish(thr float64) {
+	for {
+		cur := e.floor.Load()
+		if thr <= math.Float64frombits(cur) {
+			return
+		}
+		if e.floor.CompareAndSwap(cur, math.Float64bits(thr)) {
+			return
+		}
+	}
+}
+
+// Floor returns the current global pruning floor. Reads are lock-free
+// and monotone non-decreasing.
+//
+//seq:hotpath
+func (e *Exchange) Floor() float64 {
+	return math.Float64frombits(e.floor.Load())
+}
+
+// Sink is the per-shard top-k collector of one scatter leg: a shard-local
+// topk.Concurrent coupled to the Exchange. Acceptance is gated on the
+// global floor (>=, so ties survive for the merge tie-break), and every
+// insert republishes the tightened local threshold so the other shards
+// prune harder. It implements topk.ResultSink and is injected into the
+// algorithms via hsp.Options.Sink / lora.Options.Sink.
+type Sink struct {
+	local *topk.Concurrent
+	ex    *Exchange
+}
+
+var _ topk.ResultSink = (*Sink)(nil)
+
+// NewSink returns a shard sink keeping the local top k and publishing
+// into ex.
+func NewSink(k int, ex *Exchange) *Sink {
+	return &Sink{local: topk.NewConcurrent(k), ex: ex}
+}
+
+// K returns the sink's capacity.
+func (s *Sink) K() int { return s.local.K() }
+
+// WouldAccept reports whether sim could still matter globally. The
+// global floor dominates the local threshold (it is the max over all
+// shards' published thresholds), so one comparison suffices; equality
+// passes for the tie-break, exactly as in topk.Heap.WouldAccept.
+//
+//seq:hotpath
+func (s *Sink) WouldAccept(sim float64) bool {
+	return sim >= s.ex.Floor()
+}
+
+// Offer proposes a tuple to the shard-local top-k and republishes the
+// (possibly tightened) local threshold to the exchange.
+//
+//seq:hotpath
+func (s *Sink) Offer(tuple []int32, sim float64) bool {
+	inserted := s.local.Offer(tuple, sim)
+	s.ex.Publish(s.local.Threshold())
+	return inserted
+}
+
+// Results returns the shard-local entries best-first.
+func (s *Sink) Results() []topk.Entry { return s.local.Results() }

@@ -1,0 +1,146 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"spatialseq/internal/core"
+	"spatialseq/internal/shard"
+	"spatialseq/internal/testkit"
+)
+
+// fakeBackend scripts one scatter leg for fault injection.
+type fakeBackend struct {
+	// err, when set, fails the leg immediately.
+	err error
+	// blockUntilCancel makes the leg wait for its context and return the
+	// context's error — a shard that would have kept working forever.
+	blockUntilCancel bool
+	// resp is returned on success.
+	resp *shard.Response
+}
+
+func (f *fakeBackend) Search(ctx context.Context, req *shard.Request) (*shard.Response, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	if f.blockUntilCancel {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if f.resp != nil {
+		return f.resp, nil
+	}
+	return &shard.Response{}, nil
+}
+
+func faultCase(t *testing.T) *testkit.Case {
+	t.Helper()
+	c := testkit.DiffConfig{Seed: 17}.CaseAt(0)
+	if err := c.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFaultyShardFailsQuery is the no-silent-truncation guarantee: one
+// failing leg fails the whole query with a *shard.Error naming the
+// failed shard, and no partial top-k escapes.
+func TestFaultyShardFailsQuery(t *testing.T) {
+	c := faultCase(t)
+	boom := errors.New("disk on fire")
+	coord := shard.New(c.DS, shard.Config{Backends: []shard.Backend{
+		&fakeBackend{resp: &shard.Response{}},
+		&fakeBackend{err: boom},
+		&fakeBackend{resp: &shard.Response{}},
+	}})
+	qq := *c.Q
+	res, err := coord.Search(context.Background(), &qq, core.HSP, core.Options{})
+	if err == nil {
+		t.Fatal("coordinator merged past a failed shard")
+	}
+	if res != nil {
+		t.Fatalf("failed query still returned a result: %+v", res)
+	}
+	var se *shard.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *shard.Error", err)
+	}
+	if se.Shard != 1 {
+		t.Errorf("error names shard %d, want 1", se.Shard)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v does not unwrap to the root cause", err)
+	}
+}
+
+// TestFaultCancelsSiblings pins the cancellation fan-in: when one leg
+// fails, still-running siblings are cancelled (their work is unusable),
+// and the reported error is the root cause — not a sibling's collateral
+// context.Canceled.
+func TestFaultCancelsSiblings(t *testing.T) {
+	c := faultCase(t)
+	boom := errors.New("shard 0 exploded")
+	coord := shard.New(c.DS, shard.Config{Backends: []shard.Backend{
+		&fakeBackend{err: boom},
+		&fakeBackend{blockUntilCancel: true}, // hangs until the coordinator cancels it
+	}})
+	qq := *c.Q
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Search(context.Background(), &qq, core.HSP, core.Options{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var se *shard.Error
+		if !errors.As(err, &se) || se.Shard != 0 || !errors.Is(err, boom) {
+			t.Fatalf("error = %v, want shard 0's root cause", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never cancelled the surviving shard")
+	}
+}
+
+// TestBudgetExceededPropagates runs a real in-process sharded search
+// under an already-expired deadline: the coordinator must report the
+// deadline, never a truncated answer. This is the path the server maps
+// to 504.
+func TestBudgetExceededPropagates(t *testing.T) {
+	c := faultCase(t)
+	coord := shard.New(c.DS, shard.Config{Shards: 3})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	qq := *c.Q
+	res, err := coord.Search(ctx, &qq, core.HSP, core.Options{})
+	if err == nil {
+		t.Fatal("expired budget produced a result")
+	}
+	if res != nil {
+		t.Fatalf("expired budget still returned a result: %+v", res)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want context.DeadlineExceeded in the chain", err)
+	}
+}
+
+// TestAllShardsHealthy is the fault tests' control: the same scripted
+// backend shape with no fault merges normally.
+func TestAllShardsHealthy(t *testing.T) {
+	c := faultCase(t)
+	coord := shard.New(c.DS, shard.Config{Backends: []shard.Backend{
+		&fakeBackend{resp: &shard.Response{Tuples: []core.ResultTuple{{Positions: []int32{0, 1}, Sim: 0.9}}}},
+		&fakeBackend{resp: &shard.Response{Tuples: []core.ResultTuple{{Positions: []int32{2, 3}, Sim: 0.8}}}},
+	}})
+	qq := *c.Q
+	qq.Params.K = 5 // room for both legs' tuples in the merge
+	res, err := coord.Search(context.Background(), &qq, core.HSP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2 || res.Tuples[0].Sim != 0.9 {
+		t.Fatalf("merged tuples = %+v", res.Tuples)
+	}
+}

@@ -1,0 +1,140 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spatialseq/internal/algo/brute"
+	"spatialseq/internal/core"
+	"spatialseq/internal/query"
+	"spatialseq/internal/shard"
+	"spatialseq/internal/testkit"
+	"spatialseq/internal/testutil"
+)
+
+// permutations returns every ordering of [0, n) — n stays tiny (<= 4)
+// so exhaustive beats sampled.
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for i := 0; i <= len(sub); i++ {
+			p := make([]int, 0, n)
+			p = append(p, sub[:i]...)
+			p = append(p, n-1)
+			p = append(p, sub[i:]...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func permuteLegs(legs [][]core.ResultTuple, p []int) [][]core.ResultTuple {
+	out := make([][]core.ResultTuple, len(p))
+	for i, j := range p {
+		out[i] = legs[j]
+	}
+	return out
+}
+
+func sameTuples(a, b []core.ResultTuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Sim != b[i].Sim || len(a[i].Positions) != len(b[i].Positions) {
+			return false
+		}
+		for d := range a[i].Positions {
+			if a[i].Positions[d] != b[i].Positions[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMergePermutationInvariant is the coordinator's order-independence
+// property: merging shard-local top-ks must give the same global top-k
+// under every permutation of shard response arrival order. Legs are
+// real per-shard answers: each case's brute-force result list is dealt
+// round-robin and randomly across legs, including tie-heavy and
+// zero-attribute datasets where the deterministic tie-break is the only
+// thing keeping the answer stable.
+func TestMergePermutationInvariant(t *testing.T) {
+	shapes := []testkit.Shape{
+		{Name: "uniform", Spec: testutil.DatasetSpec{N: 48, Categories: 3, AttrDim: 4, Extent: 100}},
+		// All-zero attributes collapse the attribute term: many exact
+		// score ties, the adversarial case for order stability.
+		{Name: "zero-attr", Spec: testutil.DatasetSpec{N: 40, Categories: 2, AttrDim: 3, Extent: 50, ZeroAttrFrac: 1}},
+		// One point of extent: every location term degenerates too, so
+		// essentially every feasible tuple ties.
+		{Name: "tie-heavy", Spec: testutil.DatasetSpec{N: 30, Categories: 2, AttrDim: 2, Extent: 0.001, ZeroAttrFrac: 1}},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for ci, shape := range shapes {
+		for trial := 0; trial < 8; trial++ {
+			c := &testkit.Case{
+				Seed: int64(1000*ci + trial), Shape: shape, M: 2, Variant: query.CSEQ,
+				Params: query.Params{K: 6, Alpha: 0.5, Beta: 2, GridD: 3, Xi: 5},
+			}
+			if err := c.Generate(); err != nil {
+				t.Fatal(err)
+			}
+			// Oversample the oracle so legs hold more than k entries each —
+			// a merge that depends on truncation order will show it.
+			wide := *c.Q
+			wide.Params.K = 24
+			all := brute.Search(c.DS, &wide)
+			for _, nLegs := range []int{2, 3, 4} {
+				legs := make([][]core.ResultTuple, nLegs)
+				for i, e := range all {
+					j := i % nLegs
+					if rng.Intn(3) == 0 { // break the round-robin pattern
+						j = rng.Intn(nLegs)
+					}
+					legs[j] = append(legs[j], core.ResultTuple{Positions: e.Tuple, Sim: e.Sim})
+				}
+				want := shard.Merge(c.Q.Params.K, legs)
+				for _, p := range permutations(nLegs) {
+					got := shard.Merge(c.Q.Params.K, permuteLegs(legs, p))
+					if !sameTuples(want, got) {
+						t.Fatalf("shape %s trial %d: merge differs under leg order %v:\nwant %v\ngot  %v",
+							shape.Name, trial, p, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeMatchesOracle pins that merging the full per-shard lists
+// reproduces the global top-k exactly (not just order-invariantly):
+// dealing the oracle's top-24 across legs and merging back at k must
+// return the oracle's top-k.
+func TestMergeMatchesOracle(t *testing.T) {
+	c := testkit.DiffConfig{Seed: 99}.CaseAt(3)
+	if err := c.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	wide := *c.Q
+	wide.Params.K = 24
+	all := brute.Search(c.DS, &wide)
+	want := brute.Search(c.DS, c.Q)
+	legs := make([][]core.ResultTuple, 3)
+	for i, e := range all {
+		legs[i%3] = append(legs[i%3], core.ResultTuple{Positions: e.Tuple, Sim: e.Sim})
+	}
+	got := shard.Merge(c.Q.Params.K, legs)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d tuples, oracle has %d", len(got), len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(want[i].Tuple) != fmt.Sprint(got[i].Positions) {
+			t.Fatalf("rank %d: merged %v, oracle %v", i, got[i].Positions, want[i].Tuple)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package shard implements the in-process sharded scatter-gather serving
+// tier: a geographic Plan splitting the dataset bounds into N disjoint
+// shard regions, one core.Engine per shard searching only the partition
+// subspaces its region owns, and a Coordinator that fans a query out to
+// every shard, shares the global top-k pruning threshold across shards as
+// it tightens, and merges the shard answers with the deterministic
+// tie-break the single engine uses.
+//
+// Correctness rests on the paper's Lemma 1: the partition layer
+// enumerates every candidate tuple in exactly one core subspace (the one
+// containing its dimension-0 point), so assigning each subspace to
+// exactly one shard splits the enumeration into disjoint slices whose
+// union is the unsharded search. Shards share the full dataset and
+// partition index in-process — the auxiliary band a subspace searches is
+// query-dependent (beta * ||V_t*||) and unbounded, so a shard cannot hold
+// a fixed geographic sub-dataset and stay exact; it holds the data and
+// owns a slice of the work instead. The Backend interface is
+// transport-shaped (plain request/response values) so a later tier can
+// put remote seqserver instances behind the same coordinator.
+package shard
+
+import (
+	"math"
+	"sort"
+
+	"spatialseq/internal/geo"
+)
+
+// Plan is a disjoint covering of the dataset bounds by n shard regions,
+// built by recursive point-count-balanced splits (the same
+// alternating-cut, math.Nextafter disjointness discipline as the
+// partition layer, but cutting at point-count quantiles so shards get
+// comparable candidate volumes rather than comparable areas).
+type Plan struct {
+	regions []geo.Rect
+	centers []geo.Point
+}
+
+// NewPlan builds a plan splitting pts' bounding rectangle into n
+// regions. n < 1 is treated as 1. The split recursion always yields
+// exactly n regions; heavily duplicated coordinates can leave some of
+// them empty of points (they still tile the bounds, so ownership stays
+// total).
+func NewPlan(pts []geo.Point, n int) *Plan {
+	if n < 1 {
+		n = 1
+	}
+	bounds := geo.RectFromPoints(pts)
+	if bounds.IsEmpty() {
+		bounds = geo.Rect{}
+	}
+	p := &Plan{regions: make([]geo.Rect, 0, n)}
+	work := make([]geo.Point, len(pts))
+	copy(work, pts)
+	p.split(bounds, work, n)
+	p.centers = make([]geo.Point, len(p.regions))
+	for i, r := range p.regions {
+		p.centers[i] = r.Center()
+	}
+	return p
+}
+
+// split divides rect (holding pts) into n leaf regions appended to
+// p.regions. The cut axis is the wider one; the cut coordinate is the
+// point-count quantile matching the target leaf split, so descendant
+// leaves receive near-equal point counts.
+func (p *Plan) split(rect geo.Rect, pts []geo.Point, n int) {
+	if n <= 1 {
+		p.regions = append(p.regions, rect)
+		return
+	}
+	nl := n / 2
+	vertical := rect.Width() >= rect.Height()
+	coord := func(pt geo.Point) float64 {
+		if vertical {
+			return pt.X
+		}
+		return pt.Y
+	}
+	lo, hi := rect.MinX, rect.MaxX
+	if !vertical {
+		lo, hi = rect.MinY, rect.MaxY
+	}
+	cut := midCut(lo, hi)
+	if len(pts) > 0 {
+		cs := make([]float64, len(pts))
+		for i, pt := range pts {
+			cs[i] = coord(pt)
+		}
+		sort.Float64s(cs)
+		q := len(cs) * nl / n
+		if q >= len(cs) {
+			q = len(cs) - 1
+		}
+		cut = cs[q]
+		// A quantile landing on the region edge would starve one side of
+		// all area; fall back to the midpoint cut.
+		if cut <= lo || cut >= hi {
+			cut = midCut(lo, hi)
+		}
+	}
+	// Hoare-style partition: left takes coord <= cut, matching the
+	// closed-left / open-right rectangle split below.
+	i, j := 0, len(pts)-1
+	for i <= j {
+		if coord(pts[i]) <= cut {
+			i++
+		} else {
+			pts[i], pts[j] = pts[j], pts[i]
+			j--
+		}
+	}
+	var left, right geo.Rect
+	if vertical {
+		left = geo.Rect{MinX: rect.MinX, MinY: rect.MinY, MaxX: cut, MaxY: rect.MaxY}
+		right = geo.Rect{MinX: math.Nextafter(cut, math.Inf(1)), MinY: rect.MinY, MaxX: rect.MaxX, MaxY: rect.MaxY}
+	} else {
+		left = geo.Rect{MinX: rect.MinX, MinY: rect.MinY, MaxX: rect.MaxX, MaxY: cut}
+		right = geo.Rect{MinX: rect.MinX, MinY: math.Nextafter(cut, math.Inf(1)), MaxX: rect.MaxX, MaxY: rect.MaxY}
+	}
+	p.split(left, pts[:i], nl)
+	p.split(right, pts[i:], n-nl)
+}
+
+// midCut is the geometric fallback cut: the interval midpoint, clamped
+// strictly inside (lo, hi) when the interval has extent.
+func midCut(lo, hi float64) float64 {
+	return lo + (hi-lo)/2
+}
+
+// N returns the number of shard regions.
+func (p *Plan) N() int { return len(p.regions) }
+
+// Region returns shard i's rectangle.
+func (p *Plan) Region(i int) geo.Rect { return p.regions[i] }
+
+// Owner returns the shard whose region contains pt. The regions tile the
+// plan bounds disjointly, so an in-bounds point has exactly one owner;
+// points that escape every region (outside the bounds, or on a
+// degenerate split's seam) deterministically fall to the region with the
+// nearest center. Every subspace core center therefore has exactly one
+// owning shard — the invariant the exactly-once sharding discipline
+// needs.
+func (p *Plan) Owner(pt geo.Point) int {
+	for i, r := range p.regions {
+		if r.Contains(pt) {
+			return i
+		}
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, c := range p.centers {
+		dx, dy := pt.X-c.X, pt.Y-c.Y
+		if d := dx*dx + dy*dy; d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,213 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialseq/internal/geo"
+)
+
+func randPoints(rng *rand.Rand, n int, extent float64) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent}
+	}
+	return pts
+}
+
+// TestPlanDisjointTotal is the plan's core invariant: for any point —
+// dataset point or arbitrary in-bounds probe — exactly one region
+// contains it, and Owner agrees with containment. Disjointness plus
+// totality is what makes the subspace ownership claim exactly-once.
+func TestPlanDisjointTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		pts := randPoints(rng, 200, 100)
+		p := NewPlan(pts, n)
+		if p.N() != n {
+			t.Fatalf("n=%d: plan has %d regions", n, p.N())
+		}
+		// Probes must stay inside the plan bounds (the points' bounding
+		// rect): outside it, zero containment is correct and the
+		// nearest-center fallback owns the point.
+		bounds := geo.RectFromPoints(pts)
+		probes := append([]geo.Point{}, pts...)
+		for i := 0; i < 300; i++ {
+			probes = append(probes, geo.Point{
+				X: bounds.MinX + rng.Float64()*(bounds.MaxX-bounds.MinX),
+				Y: bounds.MinY + rng.Float64()*(bounds.MaxY-bounds.MinY),
+			})
+		}
+		for _, pt := range probes {
+			owners := 0
+			for i := 0; i < p.N(); i++ {
+				if p.Region(i).Contains(pt) {
+					owners++
+					if got := p.Owner(pt); got != i {
+						t.Fatalf("n=%d: point %v contained by region %d but owned by %d", n, pt, i, got)
+					}
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("n=%d: point %v contained by %d regions, want exactly 1", n, pt, owners)
+			}
+		}
+	}
+}
+
+// TestPlanOwnerOutOfBounds pins the fallback: points outside every
+// region still get exactly one deterministic owner (nearest region
+// center), never a panic or an unstable claim.
+func TestPlanOwnerOutOfBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPlan(randPoints(rng, 50, 10), 4)
+	outside := []geo.Point{
+		{X: -100, Y: -100}, {X: 1e6, Y: 1e6}, {X: 5, Y: -50},
+		{X: math.Inf(1), Y: 0},
+	}
+	for _, pt := range outside {
+		a, b := p.Owner(pt), p.Owner(pt)
+		if a != b {
+			t.Fatalf("owner of %v unstable: %d then %d", pt, a, b)
+		}
+		if a < 0 || a >= p.N() {
+			t.Fatalf("owner of %v out of range: %d", pt, a)
+		}
+	}
+}
+
+// TestPlanBalance sanity-checks the point-count quantile cuts: on
+// uniform data no shard should own a wildly disproportionate share of
+// the points. (The bound is loose — balance is a quality property, not
+// a correctness one.)
+func TestPlanBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 4000, 100)
+	for _, n := range []int{2, 4, 8} {
+		p := NewPlan(pts, n)
+		counts := make([]int, n)
+		for _, pt := range pts {
+			counts[p.Owner(pt)]++
+		}
+		want := len(pts) / n
+		for i, got := range counts {
+			if got < want/2 || got > want*2 {
+				t.Errorf("n=%d: shard %d owns %d points, expected near %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+// TestPlanDegenerate covers the inputs that break naive splitters: no
+// points, one point, and all points identical. The plan must still
+// produce n regions with total ownership.
+func TestPlanDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pts  []geo.Point
+	}{
+		{"empty", nil},
+		{"single", []geo.Point{{X: 3, Y: 4}}},
+		{"identical", []geo.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPlan(tc.pts, 4)
+			if p.N() != 4 {
+				t.Fatalf("plan has %d regions, want 4", p.N())
+			}
+			for _, pt := range tc.pts {
+				if o := p.Owner(pt); o < 0 || o >= 4 {
+					t.Fatalf("owner of %v out of range: %d", pt, o)
+				}
+			}
+		})
+	}
+}
+
+// TestExchangeFloorMonotone pins the atomic-max contract: Publish only
+// raises, stale lower publishes are no-ops, and -Inf is the identity.
+func TestExchangeFloorMonotone(t *testing.T) {
+	ex := NewExchange()
+	if f := ex.Floor(); !math.IsInf(f, -1) {
+		t.Fatalf("fresh exchange floor = %v, want -Inf", f)
+	}
+	ex.Publish(0.5)
+	if f := ex.Floor(); f != 0.5 {
+		t.Fatalf("floor = %v after Publish(0.5)", f)
+	}
+	ex.Publish(0.3) // stale: must not loosen
+	if f := ex.Floor(); f != 0.5 {
+		t.Fatalf("floor loosened to %v by a stale publish", f)
+	}
+	ex.Publish(math.Inf(-1))
+	if f := ex.Floor(); f != 0.5 {
+		t.Fatalf("floor loosened to %v by -Inf", f)
+	}
+	ex.Publish(0.9)
+	if f := ex.Floor(); f != 0.9 {
+		t.Fatalf("floor = %v after Publish(0.9)", f)
+	}
+}
+
+// TestExchangeConcurrentPublish hammers the exchange from many
+// goroutines and asserts the floor converges to the global maximum —
+// the lock-free CAS loop must not lose the largest value under races.
+func TestExchangeConcurrentPublish(t *testing.T) {
+	ex := NewExchange()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				ex.Publish(rng.Float64())
+			}
+			ex.Publish(float64(w) / workers) // deterministic maxima
+		}(w)
+	}
+	wg.Wait()
+	ex.Publish(2.0)
+	if f := ex.Floor(); f != 2.0 {
+		t.Fatalf("final floor = %v, want 2.0", f)
+	}
+}
+
+// TestSinkTieAcceptance pins the >= gate: a candidate exactly at the
+// floor must still be accepted for consideration — rejecting ties is
+// how a sharded run silently diverges from the single engine on
+// tie-heavy data.
+func TestSinkTieAcceptance(t *testing.T) {
+	ex := NewExchange()
+	s := NewSink(2, ex)
+	ex.Publish(0.7)
+	if !s.WouldAccept(0.7) {
+		t.Fatal("candidate equal to the floor rejected; ties must pass for the merge tie-break")
+	}
+	if s.WouldAccept(math.Nextafter(0.7, 0)) {
+		t.Fatal("candidate strictly below the floor accepted")
+	}
+}
+
+// TestSinkRepublishesThreshold checks the feedback loop: filling one
+// sink must raise the shared floor to its local k-th best, so sibling
+// shards start pruning against it.
+func TestSinkRepublishesThreshold(t *testing.T) {
+	ex := NewExchange()
+	s := NewSink(2, ex)
+	s.Offer([]int32{0, 1}, 0.9)
+	if f := ex.Floor(); !math.IsInf(f, -1) {
+		t.Fatalf("floor = %v before the sink is full, want -Inf", f)
+	}
+	s.Offer([]int32{2, 3}, 0.6)
+	if f := ex.Floor(); f != 0.6 {
+		t.Fatalf("floor = %v after filling k=2 with {0.9, 0.6}, want 0.6", f)
+	}
+	s.Offer([]int32{4, 5}, 0.8)
+	if f := ex.Floor(); f != 0.8 {
+		t.Fatalf("floor = %v after displacing 0.6 with 0.8", f)
+	}
+}

@@ -129,6 +129,36 @@ type DiffReport struct {
 	Mismatches []Mismatch
 }
 
+// CaseAt derives the i-th seeded recipe of the sweep (before
+// materialization — call Generate on the result). It is the single
+// source of the suite's case schedule: RunDiff iterates it, and external
+// differential suites (the sharded coordinator's) replay the exact same
+// recipes by iterating it themselves.
+func (cfg DiffConfig) CaseAt(i int) *Case {
+	cfg.fillDefaults()
+	c := &Case{
+		Seed:    mix64(cfg.Seed, i),
+		Shape:   cfg.Shapes[i%len(cfg.Shapes)],
+		M:       cfg.Ms[(i/len(cfg.Shapes))%len(cfg.Ms)],
+		Variant: query.CSEQ,
+		Params: query.Params{
+			K:     cfg.Ks[i%len(cfg.Ks)],
+			Alpha: cfg.Alphas[(i/2)%len(cfg.Alphas)],
+			Beta:  cfg.Betas[(i/3)%len(cfg.Betas)],
+			GridD: 3 + i%4,
+			Xi:    5 + i%2*5,
+		},
+		PinCount: 1 + i%2,
+	}
+	switch {
+	case cfg.SEQEvery > 0 && i%cfg.SEQEvery == 0:
+		c.Variant = query.SEQ
+	case cfg.FixedPointEvery > 0 && i%cfg.FixedPointEvery == 1:
+		c.Variant = query.CSEQFP
+	}
+	return c
+}
+
 // RunDiff executes the differential sweep: for each seeded case it runs
 // brute force as the oracle, compares HSP and DFS-Prune tuple-for-tuple,
 // and (optionally) validates LORA. It stops early on context cancellation
@@ -140,26 +170,7 @@ func RunDiff(ctx context.Context, cfg DiffConfig) (*DiffReport, error) {
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
-		c := &Case{
-			Seed:    mix64(cfg.Seed, i),
-			Shape:   cfg.Shapes[i%len(cfg.Shapes)],
-			M:       cfg.Ms[(i/len(cfg.Shapes))%len(cfg.Ms)],
-			Variant: query.CSEQ,
-			Params: query.Params{
-				K:     cfg.Ks[i%len(cfg.Ks)],
-				Alpha: cfg.Alphas[(i/2)%len(cfg.Alphas)],
-				Beta:  cfg.Betas[(i/3)%len(cfg.Betas)],
-				GridD: 3 + i%4,
-				Xi:    5 + i%2*5,
-			},
-			PinCount: 1 + i%2,
-		}
-		switch {
-		case cfg.SEQEvery > 0 && i%cfg.SEQEvery == 0:
-			c.Variant = query.SEQ
-		case cfg.FixedPointEvery > 0 && i%cfg.FixedPointEvery == 1:
-			c.Variant = query.CSEQFP
-		}
+		c := cfg.CaseAt(i)
 		if err := c.Generate(); err != nil {
 			return rep, err
 		}
@@ -250,6 +261,43 @@ func CheckCaseSteal(ctx context.Context, c *Case, chunkSizes []int, checkLORA bo
 			}
 			out = append(out, CheckApprox(c, want, approx)...)
 		}
+	}
+	return out, nil
+}
+
+// SearchFunc is an injected search implementation: a higher tier (the
+// sharded scatter-gather coordinator, a future remote serving path) hands
+// its whole pipeline in as a closure returning ranked entries. testkit
+// sits below internal/core in the layer graph, so this is the only shape
+// in which those tiers can plug into the differential oracle.
+type SearchFunc func(ctx context.Context, ds *dataset.Dataset, q *query.Query) ([]topk.Entry, error)
+
+// CheckCaseAgainst runs one generated case through fn and compares the
+// answer tuple-for-tuple against the brute-force oracle — the injection
+// point that extends the CheckCase family beyond the in-package
+// algorithms. algo labels any mismatches.
+func CheckCaseAgainst(ctx context.Context, c *Case, algo string, fn SearchFunc) ([]Mismatch, error) {
+	want := brute.Search(c.DS, c.Q)
+	got, err := fn(ctx, c.DS, c.Q)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", algo, err)
+	}
+	return CompareExact(c, algo, want, got), nil
+}
+
+// CheckApproxAgainst is CheckCaseAgainst for approximate implementations:
+// fn's answer is validated against the LORA contract (feasibility,
+// correct scores, rank-by-rank domination by the exact top-k) instead of
+// tuple equality.
+func CheckApproxAgainst(ctx context.Context, c *Case, algo string, fn SearchFunc) ([]Mismatch, error) {
+	want := brute.Search(c.DS, c.Q)
+	got, err := fn(ctx, c.DS, c.Q)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", algo, err)
+	}
+	out := CheckApprox(c, want, got)
+	for i := range out {
+		out[i].Algo = algo
 	}
 	return out, nil
 }

@@ -21,9 +21,20 @@ type Sink interface {
 	Offer(tuple []int32, sim float64) bool
 }
 
+// ResultSink is a Sink whose collected entries can be read back. The
+// algorithms accept one as an externally supplied collector (the sharded
+// serving tier injects a threshold-sharing sink this way); Heap and
+// Concurrent both implement it.
+type ResultSink interface {
+	Sink
+	// Results returns the held entries ordered best-first (similarity
+	// descending, ties by tuple identity ascending).
+	Results() []Entry
+}
+
 var (
-	_ Sink = (*Heap)(nil)
-	_ Sink = (*Concurrent)(nil)
+	_ ResultSink = (*Heap)(nil)
+	_ ResultSink = (*Concurrent)(nil)
 )
 
 // Concurrent is a thread-safe top-k sink for parallel subspace searches.
